@@ -1,0 +1,65 @@
+// Command brokerd runs the Crayfish message broker as a standalone TCP
+// daemon, so the input producer, the system under test, and the output
+// consumer can run in separate processes the way the paper deploys them on
+// separate VMs.
+//
+//	brokerd -addr 127.0.0.1:9092 -topics crayfish-in:32,crayfish-out:32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"crayfish"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:9092", "listen address")
+		topics = flag.String("topics", "", "topics to pre-create, as name:partitions[,name:partitions...]")
+		lanMs  = flag.Float64("lan-latency-ms", 0, "injected per-operation LAN latency in milliseconds (0 = off)")
+	)
+	flag.Parse()
+
+	b := crayfish.NewBroker()
+	_ = lanMs // the in-daemon broker already sits behind real TCP; keep flag for symmetry
+	if *topics != "" {
+		for _, spec := range strings.Split(*topics, ",") {
+			name, partsStr, ok := strings.Cut(strings.TrimSpace(spec), ":")
+			if !ok {
+				fatalf("bad topic spec %q (want name:partitions)", spec)
+			}
+			parts, err := strconv.Atoi(partsStr)
+			if err != nil || parts <= 0 {
+				fatalf("bad partition count in %q", spec)
+			}
+			if err := b.CreateTopic(name, parts); err != nil {
+				fatalf("create topic: %v", err)
+			}
+			fmt.Printf("created topic %s with %d partitions\n", name, parts)
+		}
+	}
+	srv, err := crayfish.ServeBroker(b, *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("brokerd listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+	time.Sleep(50 * time.Millisecond)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "brokerd: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,85 @@
+// Command crayfish-bench regenerates the paper's tables and figures: it
+// runs every experiment definition (or a selected subset) and prints the
+// same rows/series the paper reports.
+//
+// Examples:
+//
+//	crayfish-bench                       # full suite at scale 1.0
+//	crayfish-bench -scale 0.2 -runs 1    # quick pass
+//	crayfish-bench -only table4,figure9  # selected experiments
+//	crayfish-bench -list                 # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"crayfish"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 1.0, "duration scale (1.0 = full profile, tests use ~0.05)")
+		runs     = flag.Int("runs", 2, "repetitions per configuration (the paper runs each twice)")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		mps      = flag.String("parallelisms", "1,2,4,8,16", "mp sweep for scale-up experiments")
+		verbose  = flag.Bool("v", false, "log per-configuration progress")
+		markdown = flag.Bool("markdown", false, "render reports as markdown tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range crayfish.Experiments() {
+			fmt.Printf("%-24s %s\n", d.ID, d.Name)
+		}
+		return
+	}
+
+	opts := crayfish.ExperimentOptions{Scale: *scale, Runs: *runs}
+	for _, tok := range strings.Split(*mps, ",") {
+		var mp int
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &mp); err == nil && mp > 0 {
+			opts.Parallelisms = append(opts.Parallelisms, mp)
+		}
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+
+	var defs []crayfish.Experiment
+	if *only == "" {
+		defs = crayfish.Experiments()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			d, err := crayfish.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defs = append(defs, d)
+		}
+	}
+
+	failed := 0
+	for _, d := range defs {
+		start := time.Now()
+		report, err := d.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", d.ID, err)
+			failed++
+			continue
+		}
+		rendered := report.String()
+		if *markdown {
+			rendered = report.Markdown()
+		}
+		fmt.Printf("%s\n(completed in %v)\n\n", rendered, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

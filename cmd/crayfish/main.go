@@ -1,0 +1,13 @@
+// Command crayfish runs a single Crayfish experiment configuration and
+// prints its metrics: pick a stream processor, a serving tool, a model,
+// and a workload, and measure throughput and end-to-end latency.
+//
+// Examples:
+//
+//	crayfish -engine flink -mode embedded -tool onnx -model ffnn -rate 1000 -duration 5s
+//	crayfish -engine spark-ss -mode external -tool tf-serving -mp 4 -rate 0
+//	crayfish -engine kafka-streams -tool onnx -model resnet -bsz 8 -rate 2 -device gpu
+//	crayfish -broker 127.0.0.1:9092 -engine flink -tool onnx   # against a brokerd
+package main
+
+func main() { run() }

@@ -1,0 +1,156 @@
+// Command modelctl manages stored models: generate the paper's reference
+// models, convert between the four storage formats (the paper implements
+// models in TF/PyTorch and converts them to the studied formats, §4.1),
+// and inspect stored files.
+//
+//	modelctl gen -model ffnn -format onnx -out ffnn.onnx
+//	modelctl convert -in ffnn.onnx -format savedmodel -out ffnn.pb
+//	modelctl inspect -in ffnn.pb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crayfish/internal/model"
+	"crayfish/internal/modelfmt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = gen(os.Args[2:])
+	case "convert":
+		err = convert(os.Args[2:])
+	case "inspect":
+		err = inspect(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modelctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: modelctl <gen|convert|inspect> [flags]
+  gen     -model ffnn|resnet|resnet50 -format onnx|savedmodel|torch|h5 -out FILE [-seed N]
+  convert -in FILE -format onnx|savedmodel|torch|h5 -out FILE
+  inspect -in FILE`)
+	os.Exit(2)
+}
+
+func gen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("model", "ffnn", "model to generate: ffnn, resnet, resnet50")
+	format := fs.String("format", "onnx", "storage format")
+	out := fs.String("out", "", "output file")
+	seed := fs.Int64("seed", 1, "weight-initialisation seed")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen needs -out")
+	}
+	var m *model.Model
+	switch *name {
+	case "ffnn":
+		m = model.NewFFNN(*seed)
+	case "resnet":
+		m = model.NewResNet(model.BenchResNetConfig(*seed))
+	case "resnet50":
+		m = model.NewResNet50(*seed)
+	default:
+		return fmt.Errorf("unknown model %q", *name)
+	}
+	data, err := modelfmt.Encode(modelfmt.Format(*format), m)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s, %d params, %d bytes)\n", *out, *format, m.ParamCount(), len(data))
+	return nil
+}
+
+func convert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input model file (format auto-detected)")
+	format := fs.String("format", "", "target storage format")
+	out := fs.String("out", "", "output file")
+	fs.Parse(args)
+	if *in == "" || *out == "" || *format == "" {
+		return fmt.Errorf("convert needs -in, -format, and -out")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	src, err := modelfmt.Sniff(data)
+	if err != nil {
+		return err
+	}
+	m, err := modelfmt.Decode(src, data)
+	if err != nil {
+		return err
+	}
+	outData, err := modelfmt.Encode(modelfmt.Format(*format), m)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, outData, 0o644); err != nil {
+		return err
+	}
+	// Semantic check: the converted model must agree with the source.
+	converted, err := modelfmt.Decode(modelfmt.Format(*format), outData)
+	if err != nil {
+		return err
+	}
+	probe := make([]float32, 8*m.InputLen())
+	for i := range probe {
+		probe[i] = float32(i%17) * 0.07
+	}
+	agree, err := model.Agreement(m, converted, probe, 8)
+	if err != nil {
+		return err
+	}
+	if agree < 1 {
+		return fmt.Errorf("conversion changed predictions (agreement %.2f)", agree)
+	}
+	fmt.Printf("converted %s (%s) -> %s (%s), %d bytes, agreement 100%%\n", *in, src, *out, *format, len(outData))
+	return nil
+}
+
+func inspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "model file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("inspect needs -in")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	format, err := modelfmt.Sniff(data)
+	if err != nil {
+		return err
+	}
+	m, err := modelfmt.Decode(format, data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("file:    %s (%d bytes)\n", *in, len(data))
+	fmt.Printf("format:  %s\n", format)
+	fmt.Printf("model:   %s\n", m.Name)
+	fmt.Printf("input:   %v (%d values)\n", m.InputShape, m.InputLen())
+	fmt.Printf("output:  %dx1\n", m.OutputSize)
+	fmt.Printf("params:  %d\n", m.ParamCount())
+	fmt.Printf("layers:  %d\n", len(m.Layers))
+	return nil
+}

@@ -1,0 +1,65 @@
+// Command modelserver runs one external serving framework as a standalone
+// daemon: the TF-Serving, TorchServe, or Ray Serve analogue, serving a
+// model through its native storage format. Point crayfish's
+// -serving-addr flag (or a ServingConfig.Addr) at it to benchmark external
+// serving across process boundaries.
+//
+//	modelserver -tool tf-serving -model ffnn -workers 4 -addr 127.0.0.1:8500
+//	modelserver -tool ray-serve -model resnet -device gpu
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"crayfish"
+)
+
+func main() {
+	var (
+		tool    = flag.String("tool", "tf-serving", "framework: tf-serving, torchserve, ray-serve")
+		modelN  = flag.String("model", "ffnn", "model to serve: ffnn, resnet, resnet50")
+		file    = flag.String("model-file", "", "serve a stored model file instead (format auto-detected; see modelctl)")
+		workers = flag.Int("workers", 1, "inference pool size (threads/processes/replicas)")
+		device  = flag.String("device", "cpu", "inference device: cpu or gpu")
+		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
+		lan     = flag.Bool("lan", false, "inject the paper's modelled LAN in front of the daemon")
+	)
+	flag.Parse()
+
+	spec := crayfish.ModelSpec{Name: *modelN, Seed: 1}
+	if *file != "" {
+		var err error
+		spec, err = crayfish.LoadStoredModel(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelserver: %v\n", err)
+			os.Exit(2)
+		}
+		*modelN = *file
+	}
+	cfg := crayfish.ServingDaemonConfig{
+		Tool:    *tool,
+		Model:   spec,
+		Workers: *workers,
+		Device:  *device,
+		Addr:    *addr,
+	}
+	if *lan {
+		cfg.Network = crayfish.LAN
+	}
+	srv, err := crayfish.StartServingDaemon(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modelserver: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("%s serving %s on %s (%d workers, %s)\n", srv.Kind(), *modelN, srv.Addr(), *workers, *device)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}

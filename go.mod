@@ -1,0 +1,3 @@
+module crayfish
+
+go 1.22

@@ -1,0 +1,302 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Transport is the client-facing broker API. A *Broker satisfies it
+// directly (in-process transport); RemoteClient satisfies it over TCP.
+// Stream processors and the Crayfish driver are written against this
+// interface so experiments can switch transports without code changes.
+type Transport interface {
+	CreateTopic(name string, partitions int) error
+	DeleteTopic(name string) error
+	Partitions(topic string) (int, error)
+	Produce(topic string, partition int, recs []Record) (int64, error)
+	Fetch(topic string, partition int, offset int64, max int) ([]Record, error)
+	FetchMulti(topic string, reqs []FetchRequest, maxTotal int) ([]Record, error)
+	EndOffset(topic string, partition int) (int64, error)
+	JoinGroup(group string, topics []string) (Assignment, error)
+	LeaveGroup(group, memberID string) error
+	FetchAssignment(group, memberID string, generation int) (Assignment, error)
+	CommitOffset(group string, tp TopicPartition, offset int64) error
+	CommittedOffset(group string, tp TopicPartition) (int64, error)
+}
+
+var _ Transport = (*Broker)(nil)
+
+// Producer writes records to a topic, spreading keyless records
+// round-robin across partitions and hashing keyed records.
+type Producer struct {
+	t     Transport
+	topic string
+
+	mu    sync.Mutex
+	parts int
+	next  int
+}
+
+// NewProducer creates a producer bound to one topic.
+func NewProducer(t Transport, topic string) (*Producer, error) {
+	n, err := t.Partitions(topic)
+	if err != nil {
+		return nil, err
+	}
+	return &Producer{t: t, topic: topic, parts: n}, nil
+}
+
+// Send appends one record, stamping it with the current time as its
+// CreateTime, and returns the partition and offset it landed at.
+func (p *Producer) Send(key, value []byte) (int, int64, error) {
+	return p.SendAt(key, value, time.Now())
+}
+
+// SendAt is Send with an explicit CreateTime; the Crayfish producer uses
+// it to record the measurement start timestamp (§3.3 step 1).
+func (p *Producer) SendAt(key, value []byte, ts time.Time) (int, int64, error) {
+	part := p.pickPartition(key)
+	off, err := p.t.Produce(p.topic, part, []Record{{Key: key, Value: value, Timestamp: ts}})
+	if err != nil {
+		return 0, 0, err
+	}
+	return part, off, nil
+}
+
+// SendBatch appends several records in a single broker call to the next
+// round-robin partition, the way Kafka producers batch sends
+// (batch.size/linger.ms). It returns the partition and base offset.
+func (p *Producer) SendBatch(recs []Record) (int, int64, error) {
+	if len(recs) == 0 {
+		return 0, 0, nil
+	}
+	part := p.pickPartition(nil)
+	off, err := p.t.Produce(p.topic, part, recs)
+	return part, off, err
+}
+
+// SendToPartition appends a record to an explicit partition.
+func (p *Producer) SendToPartition(partition int, key, value []byte, ts time.Time) (int64, error) {
+	return p.t.Produce(p.topic, partition, []Record{{Key: key, Value: value, Timestamp: ts}})
+}
+
+// NextPartition advances the round-robin cursor and returns the partition
+// a keyless record would target. Batching producers use it to pick the
+// partition for a multi-record append.
+func (p *Producer) NextPartition() int {
+	return p.pickPartition(nil)
+}
+
+func (p *Producer) pickPartition(key []byte) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(key) > 0 {
+		h := fnv.New32a()
+		h.Write(key)
+		return int(h.Sum32() % uint32(p.parts))
+	}
+	part := p.next
+	p.next = (p.next + 1) % p.parts
+	return part
+}
+
+// Consumer reads records from assigned partitions. It operates in either
+// assigned mode (explicit partitions, like Kafka's assign()) or group mode
+// (dynamic assignment with rebalancing, like subscribe()).
+type Consumer struct {
+	t     Transport
+	topic string
+
+	group      string
+	memberID   string
+	generation int
+
+	mu        sync.Mutex
+	assigned  []TopicPartition
+	positions map[TopicPartition]int64
+	rr        int
+	closed    bool
+}
+
+// NewAssignedConsumer creates a consumer reading the given partitions of a
+// topic starting at offset 0.
+func NewAssignedConsumer(t Transport, topic string, partitions ...int) (*Consumer, error) {
+	n, err := t.Partitions(topic)
+	if err != nil {
+		return nil, err
+	}
+	c := &Consumer{t: t, topic: topic, positions: make(map[TopicPartition]int64)}
+	if len(partitions) == 0 {
+		for i := 0; i < n; i++ {
+			partitions = append(partitions, i)
+		}
+	}
+	for _, p := range partitions {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("%w: %s/%d", ErrUnknownPartition, topic, p)
+		}
+		c.assigned = append(c.assigned, TopicPartition{Topic: topic, Partition: p})
+	}
+	return c, nil
+}
+
+// NewGroupConsumer creates a consumer that joins a consumer group and
+// receives a dynamic partition assignment, resuming from committed
+// offsets.
+func NewGroupConsumer(t Transport, group, topic string) (*Consumer, error) {
+	a, err := t.JoinGroup(group, []string{topic})
+	if err != nil {
+		return nil, err
+	}
+	c := &Consumer{
+		t: t, topic: topic, group: group,
+		memberID: a.MemberID, generation: a.Generation,
+		positions: make(map[TopicPartition]int64),
+	}
+	if err := c.adopt(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// adopt installs a new assignment, seeding positions from committed
+// offsets.
+func (c *Consumer) adopt(a Assignment) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.generation = a.Generation
+	c.assigned = a.Partitions
+	for _, tp := range a.Partitions {
+		if _, ok := c.positions[tp]; ok {
+			continue
+		}
+		off, err := c.t.CommittedOffset(c.group, tp)
+		if err != nil {
+			return err
+		}
+		c.positions[tp] = off
+	}
+	return nil
+}
+
+// Assignment returns the partitions this consumer currently owns.
+func (c *Consumer) Assignment() []TopicPartition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TopicPartition(nil), c.assigned...)
+}
+
+// SeekToEnd moves every assigned partition's position to the log end so
+// Poll only returns records produced afterwards.
+func (c *Consumer) SeekToEnd() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, tp := range c.assigned {
+		end, err := c.t.EndOffset(tp.Topic, tp.Partition)
+		if err != nil {
+			return err
+		}
+		c.positions[tp] = end
+	}
+	return nil
+}
+
+// Seek moves one partition's position.
+func (c *Consumer) Seek(tp TopicPartition, offset int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.positions[tp] = offset
+}
+
+// Positions returns a copy of the consumer's current positions for its
+// assigned partitions (the next offset each will read).
+func (c *Consumer) Positions() map[TopicPartition]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[TopicPartition]int64, len(c.assigned))
+	for _, tp := range c.assigned {
+		out[tp] = c.positions[tp]
+	}
+	return out
+}
+
+// Poll returns up to max records in a single multi-partition fetch
+// request, rotating the partition order round-robin for fairness and
+// advancing positions past returned records. It returns an empty slice
+// when nothing new is available (pull model: the caller decides whether to
+// spin, sleep, or proceed). In group mode a broker-side rebalance is
+// handled transparently by adopting the new assignment.
+func (c *Consumer) Poll(max int) ([]Record, error) {
+	if max <= 0 {
+		max = 1
+	}
+	if c.group != "" {
+		a, err := c.t.FetchAssignment(c.group, c.memberID, c.generation)
+		if errors.Is(err, ErrRebalance) {
+			if err := c.adopt(a); err != nil {
+				return nil, err
+			}
+		} else if err != nil {
+			return nil, err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if len(c.assigned) == 0 {
+		return nil, nil
+	}
+	reqs := make([]FetchRequest, 0, len(c.assigned))
+	for i := range c.assigned {
+		tp := c.assigned[(c.rr+i)%len(c.assigned)]
+		reqs = append(reqs, FetchRequest{Partition: tp.Partition, Offset: c.positions[tp]})
+	}
+	c.rr++
+	out, err := c.t.FetchMulti(c.topic, reqs, max)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range out {
+		tp := TopicPartition{Topic: c.topic, Partition: rec.Partition}
+		if rec.Offset+1 > c.positions[tp] {
+			c.positions[tp] = rec.Offset + 1
+		}
+	}
+	return out, nil
+}
+
+// Commit persists current positions as the group's committed offsets.
+// It is a no-op for assigned-mode consumers.
+func (c *Consumer) Commit() error {
+	if c.group == "" {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, tp := range c.assigned {
+		if err := c.t.CommitOffset(c.group, tp, c.positions[tp]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close leaves the consumer group (if any) and marks the consumer unusable.
+func (c *Consumer) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.group != "" {
+		return c.t.LeaveGroup(c.group, c.memberID)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package broker
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// RemoteClient is a Transport speaking the TCP wire protocol to a broker
+// Server. It maintains a small pool of connections; each request checks a
+// connection out for its synchronous round trip, so independent goroutines
+// proceed in parallel.
+type RemoteClient struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []*remoteConn
+	closed bool
+}
+
+type remoteConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial connects to a broker server.
+func Dial(addr string) (*RemoteClient, error) {
+	rc := &RemoteClient{addr: addr}
+	// Validate connectivity eagerly so misconfiguration fails fast.
+	conn, err := rc.checkout()
+	if err != nil {
+		return nil, err
+	}
+	rc.checkin(conn)
+	return rc, nil
+}
+
+// Close tears down pooled connections.
+func (rc *RemoteClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.closed = true
+	for _, c := range rc.idle {
+		c.c.Close()
+	}
+	rc.idle = nil
+	return nil
+}
+
+func (rc *RemoteClient) checkout() (*remoteConn, error) {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(rc.idle); n > 0 {
+		c := rc.idle[n-1]
+		rc.idle = rc.idle[:n-1]
+		rc.mu.Unlock()
+		return c, nil
+	}
+	rc.mu.Unlock()
+	conn, err := net.Dial("tcp", rc.addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker: dial %s: %w", rc.addr, err)
+	}
+	return &remoteConn{
+		c:  conn,
+		br: bufio.NewReaderSize(conn, 64<<10),
+		bw: bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+func (rc *RemoteClient) checkin(c *remoteConn) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed || len(rc.idle) >= 64 {
+		c.c.Close()
+		return
+	}
+	rc.idle = append(rc.idle, c)
+}
+
+// call performs one synchronous request/response round trip.
+func (rc *RemoteClient) call(req *wireRequest) (*wireResponse, error) {
+	conn, err := rc.checkout()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn.bw, req); err != nil {
+		conn.c.Close()
+		return nil, err
+	}
+	if err := conn.bw.Flush(); err != nil {
+		conn.c.Close()
+		return nil, err
+	}
+	var resp wireResponse
+	if err := readFrame(conn.br, &resp); err != nil {
+		conn.c.Close()
+		return nil, err
+	}
+	rc.checkin(conn)
+	if resp.Err != "" {
+		if resp.Rebalance {
+			return &resp, ErrRebalance
+		}
+		return &resp, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// CreateTopic implements Transport.
+func (rc *RemoteClient) CreateTopic(name string, partitions int) error {
+	_, err := rc.call(&wireRequest{Op: "create_topic", Topic: name, Partitions: partitions})
+	return err
+}
+
+// DeleteTopic implements Transport.
+func (rc *RemoteClient) DeleteTopic(name string) error {
+	_, err := rc.call(&wireRequest{Op: "delete_topic", Topic: name})
+	return err
+}
+
+// Partitions implements Transport.
+func (rc *RemoteClient) Partitions(topic string) (int, error) {
+	resp, err := rc.call(&wireRequest{Op: "partitions", Topic: topic})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Produce implements Transport.
+func (rc *RemoteClient) Produce(topic string, partition int, recs []Record) (int64, error) {
+	resp, err := rc.call(&wireRequest{Op: "produce", Topic: topic, Partition: partition, Records: toWire(recs)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+// Fetch implements Transport.
+func (rc *RemoteClient) Fetch(topic string, partition int, offset int64, max int) ([]Record, error) {
+	resp, err := rc.call(&wireRequest{Op: "fetch", Topic: topic, Partition: partition, Offset: offset, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return fromWire(resp.Records), nil
+}
+
+// FetchMulti implements Transport.
+func (rc *RemoteClient) FetchMulti(topic string, reqs []FetchRequest, maxTotal int) ([]Record, error) {
+	resp, err := rc.call(&wireRequest{Op: "fetch_multi", Topic: topic, Fetches: reqs, Max: maxTotal})
+	if err != nil {
+		return nil, err
+	}
+	return fromWire(resp.Records), nil
+}
+
+// EndOffset implements Transport.
+func (rc *RemoteClient) EndOffset(topic string, partition int) (int64, error) {
+	resp, err := rc.call(&wireRequest{Op: "end_offset", Topic: topic, Partition: partition})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+// JoinGroup implements Transport.
+func (rc *RemoteClient) JoinGroup(group string, topics []string) (Assignment, error) {
+	resp, err := rc.call(&wireRequest{Op: "join_group", Group: group, Topics: topics})
+	if err != nil {
+		return Assignment{}, err
+	}
+	return *resp.Assignment, nil
+}
+
+// LeaveGroup implements Transport.
+func (rc *RemoteClient) LeaveGroup(group, memberID string) error {
+	_, err := rc.call(&wireRequest{Op: "leave_group", Group: group, Member: memberID})
+	return err
+}
+
+// FetchAssignment implements Transport.
+func (rc *RemoteClient) FetchAssignment(group, memberID string, generation int) (Assignment, error) {
+	resp, err := rc.call(&wireRequest{Op: "fetch_assignment", Group: group, Member: memberID, Generation: generation})
+	if resp != nil && resp.Assignment != nil {
+		return *resp.Assignment, err
+	}
+	return Assignment{}, err
+}
+
+// CommitOffset implements Transport.
+func (rc *RemoteClient) CommitOffset(group string, tp TopicPartition, offset int64) error {
+	_, err := rc.call(&wireRequest{Op: "commit_offset", Group: group, TP: &tp, Offset: offset})
+	return err
+}
+
+// CommittedOffset implements Transport.
+func (rc *RemoteClient) CommittedOffset(group string, tp TopicPartition) (int64, error) {
+	resp, err := rc.call(&wireRequest{Op: "committed_offset", Group: group, TP: &tp})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+var _ Transport = (*RemoteClient)(nil)

@@ -1,0 +1,235 @@
+package broker
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerSurvivesGarbageBytes throws random byte streams at the broker
+// TCP server: the server must drop the connection without crashing, and
+// keep serving well-formed clients afterwards.
+func TestServerSurvivesGarbageBytes(t *testing.T) {
+	b := New(DefaultConfig())
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		junk := make([]byte, r.Intn(512)+1)
+		r.Read(junk)
+		conn.Write(junk)
+		conn.Close()
+	}
+	// An oversized frame header must be rejected, not allocated.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<31)
+	conn.Write(hdr[:])
+	conn.Close()
+
+	// A valid frame with JSON junk inside must produce an error reply,
+	// not a crash.
+	conn, err = net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"op":"no-such-op"}`)
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	conn.Write(hdr[:])
+	conn.Write(body)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	reply := make([]byte, 4)
+	if _, err := conn.Read(reply); err != nil {
+		t.Fatalf("server did not reply to unknown op: %v", err)
+	}
+	conn.Close()
+
+	// The broker still serves a real client.
+	rc, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if err := rc.CreateTopic("post-garbage", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Produce("post-garbage", 0, []Record{{Value: []byte("ok")}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFetchMultiBounds exercises FetchMulti's validation paths.
+func TestFetchMultiBounds(t *testing.T) {
+	b := New(DefaultConfig())
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", 0, []Record{{Value: []byte("a")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", 1, []Record{{Value: []byte("b")}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := b.FetchMulti("t", []FetchRequest{{Partition: 0}, {Partition: 1}}, 10)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("FetchMulti = %v, %v", recs, err)
+	}
+	// maxTotal caps across partitions.
+	recs, err = b.FetchMulti("t", []FetchRequest{{Partition: 0}, {Partition: 1}}, 1)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("capped FetchMulti = %v, %v", recs, err)
+	}
+	if _, err := b.FetchMulti("t", []FetchRequest{{Partition: 9}}, 1); err == nil {
+		t.Fatal("bad partition accepted")
+	}
+	if _, err := b.FetchMulti("missing", nil, 1); err == nil {
+		t.Fatal("bad topic accepted")
+	}
+	if _, err := b.FetchMulti("t", []FetchRequest{{Partition: 0, Offset: 99}}, 1); err == nil {
+		t.Fatal("out-of-range offset accepted")
+	}
+	// Empty request list is a legal no-op.
+	recs, err = b.FetchMulti("t", nil, 5)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty FetchMulti = %v, %v", recs, err)
+	}
+}
+
+// TestAsyncProducerLifecycle covers batching, flush, and close semantics.
+func TestAsyncProducerLifecycle(t *testing.T) {
+	b := New(DefaultConfig())
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	ap, err := NewAsyncProducer(b, "t", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := ap.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ap.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for p := 0; p < 2; p++ {
+		end, err := b.EndOffset("t", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += end
+	}
+	if total != 50 {
+		t.Fatalf("flushed %d of 50 records", total)
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := ap.Send([]byte("late")); err == nil {
+		t.Fatal("send after close accepted")
+	}
+}
+
+func TestAsyncProducerSurfacesBrokerErrors(t *testing.T) {
+	b := New(Config{MaxRequestSize: 4})
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	ap, err := NewAsyncProducer(b, "t", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Send(make([]byte, 64)); err != nil {
+		t.Fatal(err) // enqueue succeeds; failure is asynchronous
+	}
+	if err := ap.Flush(); err == nil {
+		t.Fatal("oversized record error not surfaced on flush")
+	}
+	if err := ap.Close(); err == nil {
+		t.Fatal("oversized record error not surfaced on close")
+	}
+}
+
+func TestAsyncProducerUnknownTopic(t *testing.T) {
+	b := New(DefaultConfig())
+	if _, err := NewAsyncProducer(b, "missing", 4); err == nil {
+		t.Fatal("unknown topic accepted")
+	}
+}
+
+func TestRetentionTruncatesHead(t *testing.T) {
+	b := New(Config{RetentionRecords: 5})
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := b.Produce("t", 0, []Record{{Value: []byte{byte(i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start, err := b.StartOffset("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := b.EndOffset("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 7 || end != 12 {
+		t.Fatalf("log range [%d,%d], want [7,12]", start, end)
+	}
+	// Offsets survive truncation: the retained records keep theirs.
+	recs, err := b.Fetch("t", 0, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[0].Offset != 7 || recs[0].Value[0] != 7 {
+		t.Fatalf("retained records %+v", recs)
+	}
+	// A stale consumer position resets to earliest, Kafka-style.
+	recs, err = b.Fetch("t", 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Offset != 7 {
+		t.Fatalf("auto-reset fetch %+v", recs)
+	}
+	// Past-end fetches still error.
+	if _, err := b.Fetch("t", 0, 13, 1); err == nil {
+		t.Fatal("past-end fetch accepted")
+	}
+}
+
+func TestRetentionUnboundedByDefault(t *testing.T) {
+	b := New(DefaultConfig())
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := b.Produce("t", 0, []Record{{Value: []byte{1}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start, err := b.StartOffset("t", 0)
+	if err != nil || start != 0 {
+		t.Fatalf("start = %d, %v", start, err)
+	}
+}

@@ -1,0 +1,274 @@
+package broker
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// wire protocol: each frame is a uint32 big-endian length followed by a
+// JSON document. Requests and responses alternate synchronously per
+// connection; clients open multiple connections for parallelism.
+
+// maxFrameSize bounds a single wire frame (a 50 MB record plus base64 and
+// envelope overhead).
+const maxFrameSize = 96 << 20
+
+// wireRequest is the client -> server frame.
+type wireRequest struct {
+	Op         string          `json:"op"`
+	Topic      string          `json:"topic,omitempty"`
+	Partition  int             `json:"partition,omitempty"`
+	Partitions int             `json:"partitions,omitempty"`
+	Offset     int64           `json:"offset,omitempty"`
+	Max        int             `json:"max,omitempty"`
+	Group      string          `json:"group,omitempty"`
+	Member     string          `json:"member,omitempty"`
+	Generation int             `json:"generation,omitempty"`
+	Topics     []string        `json:"topics,omitempty"`
+	Records    []wireRecord    `json:"records,omitempty"`
+	TP         *TopicPartition `json:"tp,omitempty"`
+	Fetches    []FetchRequest  `json:"fetches,omitempty"`
+}
+
+// wireResponse is the server -> client frame.
+type wireResponse struct {
+	Err        string       `json:"err,omitempty"`
+	Rebalance  bool         `json:"rebalance,omitempty"`
+	Offset     int64        `json:"offset,omitempty"`
+	Count      int          `json:"count,omitempty"`
+	Records    []wireRecord `json:"records,omitempty"`
+	Assignment *Assignment  `json:"assignment,omitempty"`
+}
+
+// wireRecord is the JSON form of a Record; []byte fields use JSON's
+// standard base64 encoding.
+type wireRecord struct {
+	Key        []byte    `json:"key,omitempty"`
+	Value      []byte    `json:"value"`
+	Timestamp  time.Time `json:"ts"`
+	AppendTime time.Time `json:"append_ts"`
+	Partition  int       `json:"partition"`
+	Offset     int64     `json:"offset"`
+}
+
+func toWire(recs []Record) []wireRecord {
+	out := make([]wireRecord, len(recs))
+	for i, r := range recs {
+		out[i] = wireRecord{Key: r.Key, Value: r.Value, Timestamp: r.Timestamp, AppendTime: r.AppendTime, Partition: r.Partition, Offset: r.Offset}
+	}
+	return out
+}
+
+func fromWire(recs []wireRecord) []Record {
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		out[i] = Record{Key: r.Key, Value: r.Value, Timestamp: r.Timestamp, AppendTime: r.AppendTime, Partition: r.Partition, Offset: r.Offset}
+	}
+	return out
+}
+
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return fmt.Errorf("broker: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Server exposes a Broker over TCP.
+type Server struct {
+	b  *Broker
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a TCP server for the broker on addr (e.g. "127.0.0.1:0")
+// and returns once the listener is bound.
+func Serve(b *Broker, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{b: b, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		var req wireRequest
+		if err := readFrame(br, &req); err != nil {
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := writeFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *wireRequest) *wireResponse {
+	resp := &wireResponse{}
+	fail := func(err error) *wireResponse {
+		resp.Err = err.Error()
+		resp.Rebalance = errors.Is(err, ErrRebalance)
+		return resp
+	}
+	switch req.Op {
+	case "create_topic":
+		if err := s.b.CreateTopic(req.Topic, req.Partitions); err != nil {
+			return fail(err)
+		}
+	case "delete_topic":
+		if err := s.b.DeleteTopic(req.Topic); err != nil {
+			return fail(err)
+		}
+	case "partitions":
+		n, err := s.b.Partitions(req.Topic)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Count = n
+	case "produce":
+		off, err := s.b.Produce(req.Topic, req.Partition, fromWire(req.Records))
+		if err != nil {
+			return fail(err)
+		}
+		resp.Offset = off
+	case "fetch":
+		recs, err := s.b.Fetch(req.Topic, req.Partition, req.Offset, req.Max)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Records = toWire(recs)
+	case "fetch_multi":
+		recs, err := s.b.FetchMulti(req.Topic, req.Fetches, req.Max)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Records = toWire(recs)
+	case "end_offset":
+		off, err := s.b.EndOffset(req.Topic, req.Partition)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Offset = off
+	case "join_group":
+		a, err := s.b.JoinGroup(req.Group, req.Topics)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Assignment = &a
+	case "leave_group":
+		if err := s.b.LeaveGroup(req.Group, req.Member); err != nil {
+			return fail(err)
+		}
+	case "fetch_assignment":
+		a, err := s.b.FetchAssignment(req.Group, req.Member, req.Generation)
+		resp.Assignment = &a
+		if err != nil {
+			return fail(err)
+		}
+	case "commit_offset":
+		if req.TP == nil {
+			return fail(fmt.Errorf("broker: commit_offset missing tp"))
+		}
+		if err := s.b.CommitOffset(req.Group, *req.TP, req.Offset); err != nil {
+			return fail(err)
+		}
+	case "committed_offset":
+		if req.TP == nil {
+			return fail(fmt.Errorf("broker: committed_offset missing tp"))
+		}
+		off, err := s.b.CommittedOffset(req.Group, *req.TP)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Offset = off
+	default:
+		return fail(fmt.Errorf("broker: unknown op %q", req.Op))
+	}
+	return resp
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleBatch() *DataBatch {
+	return &DataBatch{
+		ID:           42,
+		CreatedNanos: time.Now().UnixNano(),
+		Count:        2,
+		Inputs:       []float32{1, 2, 3, 4},
+		Predictions:  []float32{0.25, 0.75},
+	}
+}
+
+func TestCodecsRoundTrip(t *testing.T) {
+	for _, codec := range []BatchCodec{JSONCodec{}, BinaryCodec{}} {
+		b := sampleBatch()
+		data, err := codec.Marshal(b)
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		got, err := codec.Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		if got.ID != b.ID || got.CreatedNanos != b.CreatedNanos || got.Count != b.Count {
+			t.Fatalf("%s: header mismatch %+v", codec.Name(), got)
+		}
+		for i := range b.Inputs {
+			if got.Inputs[i] != b.Inputs[i] {
+				t.Fatalf("%s: input %d mismatch", codec.Name(), i)
+			}
+		}
+		for i := range b.Predictions {
+			if got.Predictions[i] != b.Predictions[i] {
+				t.Fatalf("%s: prediction %d mismatch", codec.Name(), i)
+			}
+		}
+	}
+}
+
+func TestBinaryCodecRoundTripProperty(t *testing.T) {
+	codec := BinaryCodec{}
+	f := func(id int64, created int64, inputs []float32, nPred uint8) bool {
+		b := &DataBatch{ID: id, CreatedNanos: created, Count: 1, Inputs: inputs}
+		for i := 0; i < int(nPred)%5; i++ {
+			b.Predictions = append(b.Predictions, float32(i))
+		}
+		data, err := codec.Marshal(b)
+		if err != nil {
+			return false
+		}
+		got, err := codec.Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		if got.ID != b.ID || got.CreatedNanos != b.CreatedNanos || len(got.Inputs) != len(b.Inputs) || len(got.Predictions) != len(b.Predictions) {
+			return false
+		}
+		for i := range b.Inputs {
+			// NaN != NaN; compare through bit identity by formatting.
+			if got.Inputs[i] != b.Inputs[i] && b.Inputs[i] == b.Inputs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	if _, err := UnmarshalJSONBatch([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := UnmarshalJSONBatch([]byte(`{"id":1,"count":0}`)); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	bc := BinaryCodec{}
+	if _, err := bc.Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short binary accepted")
+	}
+	good, err := bc.Marshal(sampleBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bc.Unmarshal(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated binary accepted")
+	}
+}
+
+func TestBinarySmallerThanJSON(t *testing.T) {
+	b := sampleBatch()
+	b.Inputs = make([]float32, 784)
+	for i := range b.Inputs {
+		b.Inputs[i] = float32(i) * 0.001
+	}
+	jd, err := (JSONCodec{}).Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := (BinaryCodec{}).Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bd) >= len(jd) {
+		t.Fatalf("binary (%d) not smaller than JSON (%d)", len(bd), len(jd))
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"crayfish/internal/netsim"
+)
+
+// Workload carries the Table 1 configuration parameters.
+type Workload struct {
+	// InputShape is isz: the shape of each generated data point.
+	InputShape []int
+	// BatchSize is bsz: data points per CrayfishDataBatch (one event).
+	BatchSize int
+	// InputRate is ir: constant event generation rate in events/s.
+	// Zero means saturation: the producer emits as fast as it can,
+	// which is how sustainable-throughput probes drive the SUT.
+	InputRate float64
+	// Bursty enables the periodic-burst generator (§4.1): BurstRate for
+	// BurstDuration (bd), then BaseRate until TimeBetweenBursts (tbb)
+	// elapses, repeating.
+	Bursty            bool
+	BurstDuration     time.Duration
+	TimeBetweenBursts time.Duration
+	BurstRate         float64
+	BaseRate          float64
+	// Duration bounds the experiment (the paper's 15-minute timeout,
+	// scaled down).
+	Duration time.Duration
+	// MaxEvents optionally bounds generated events (the paper's 1M
+	// measurements); zero means unbounded.
+	MaxEvents int
+	// ProducerBatch is the Kafka-producer-style send batch: up to this
+	// many pending events go to the broker in one call. Events flush
+	// immediately whenever the generator would otherwise wait for the
+	// next due time (linger.ms = 0), so low-rate latency measurements
+	// are unaffected. Zero means 64.
+	ProducerBatch int
+	// Seed drives the synthetic data generator.
+	Seed int64
+	// DatasetPath, when set, feeds the producer from a real dataset
+	// file (WriteDataset format) instead of the synthetic generator —
+	// §3.1's second input option. The dataset's point length must match
+	// InputShape; streams cycle through finite datasets.
+	DatasetPath string
+}
+
+// PointLen returns the flattened length of one data point.
+func (w *Workload) PointLen() int {
+	n := 1
+	for _, d := range w.InputShape {
+		n *= d
+	}
+	return n
+}
+
+// Validate checks and defaults the workload.
+func (w *Workload) Validate() error {
+	if len(w.InputShape) == 0 || w.PointLen() <= 0 {
+		return fmt.Errorf("core: workload needs a non-empty input shape, got %v", w.InputShape)
+	}
+	if w.BatchSize <= 0 {
+		w.BatchSize = 1
+	}
+	if w.Duration <= 0 {
+		w.Duration = time.Second
+	}
+	if w.Bursty {
+		if w.BurstDuration <= 0 || w.TimeBetweenBursts <= 0 {
+			return fmt.Errorf("core: bursty workload needs bd and tbb, got %v/%v", w.BurstDuration, w.TimeBetweenBursts)
+		}
+		if w.BurstRate <= 0 || w.BaseRate <= 0 {
+			return fmt.Errorf("core: bursty workload needs burst and base rates")
+		}
+	}
+	return nil
+}
+
+// Config describes one Crayfish experiment: the workload, the system
+// under test, and the measurement parameters.
+type Config struct {
+	Workload Workload
+	// Engine names the stream processor ("flink", "kafka-streams",
+	// "spark-ss", "ray").
+	Engine string
+	// Serving selects the serving tool.
+	Serving ServingConfig
+	// Model selects the pre-trained model (default: ffnn).
+	Model ModelSpec
+	// Parallelism is mp plus optional operator-level overrides.
+	ParallelismDefault int
+	SourceParallelism  int
+	SinkParallelism    int
+	// Partitions is the per-topic partition count (the paper uses 32).
+	Partitions int
+	// Network models the links between the paper's separate machines
+	// (producer ↔ broker ↔ SPS ↔ serving VM). The zero profile keeps
+	// everything at in-process speed; experiments use netsim.LAN to
+	// reproduce the cluster environment of §4.2.
+	Network netsim.Profile
+	// WarmupFraction of samples is discarded (the paper drops 25%).
+	WarmupFraction float64
+	// KeepSamples retains per-batch samples in the result (needed for
+	// burst-recovery analysis); aggregates are always computed.
+	KeepSamples bool
+}
+
+// ServingMode distinguishes embedded from external serving.
+type ServingMode string
+
+// Serving modes (§2.1).
+const (
+	Embedded ServingMode = "embedded"
+	External ServingMode = "external"
+)
+
+// ServingConfig selects and configures a serving tool.
+type ServingConfig struct {
+	// Mode is embedded or external.
+	Mode ServingMode
+	// Tool names the serving tool: onnx, savedmodel, dl4j (embedded);
+	// tf-serving, torchserve, ray-serve (external).
+	Tool string
+	// Device is "cpu" (default) or "gpu".
+	Device string
+	// Workers overrides the external server's worker pool; zero means
+	// the experiment's parallelism (fair resource allocation, §3.5,
+	// gives external servers their own pool).
+	Workers int
+	// Addr points at an already-running external server; empty means
+	// the runner launches one in-process.
+	Addr string
+}
+
+// Validate checks and defaults the configuration.
+func (c *Config) Validate() error {
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Engine == "" {
+		return fmt.Errorf("core: config needs an engine")
+	}
+	if c.Serving.Mode != Embedded && c.Serving.Mode != External {
+		return fmt.Errorf("core: serving mode must be embedded or external, got %q", c.Serving.Mode)
+	}
+	if c.Serving.Tool == "" {
+		return fmt.Errorf("core: config needs a serving tool")
+	}
+	if c.ParallelismDefault <= 0 {
+		c.ParallelismDefault = 1
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 32
+	}
+	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
+		return fmt.Errorf("core: warmup fraction %v out of [0,1)", c.WarmupFraction)
+	}
+	if c.WarmupFraction == 0 {
+		c.WarmupFraction = 0.25
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"crayfish/internal/broker"
+)
+
+// Sample is one end-to-end measurement: a scored batch with its start
+// (producer-side creation) and end (broker-side LogAppendTime on the
+// output topic) timestamps.
+type Sample struct {
+	ID      int64
+	Start   time.Time
+	End     time.Time
+	Latency time.Duration
+}
+
+// OutputConsumer is the Crayfish output consumer component (§3.1): it
+// reads scored batches from the output topic and extracts per-batch
+// end-to-end latencies, keeping measurement logic outside the SUT
+// (SUT separation, §3.5).
+type OutputConsumer struct {
+	codec    BatchCodec
+	consumer *broker.Consumer
+
+	mu      sync.Mutex
+	samples []Sample
+	decoded map[int64]bool
+	dupes   int
+}
+
+// NewOutputConsumer builds a consumer over all partitions of topic.
+func NewOutputConsumer(t broker.Transport, topic string, codec BatchCodec) (*OutputConsumer, error) {
+	if codec == nil {
+		codec = JSONCodec{}
+	}
+	c, err := broker.NewAssignedConsumer(t, topic)
+	if err != nil {
+		return nil, err
+	}
+	return &OutputConsumer{codec: codec, consumer: c, decoded: make(map[int64]bool)}, nil
+}
+
+// Run polls the output topic until stop closes, then drains whatever is
+// left and returns.
+func (oc *OutputConsumer) Run(stop <-chan struct{}) error {
+	for {
+		select {
+		case <-stop:
+			return oc.drain()
+		default:
+		}
+		n, err := oc.pollOnce()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// drain consumes everything still in the topic after producers stopped.
+func (oc *OutputConsumer) drain() error {
+	for {
+		n, err := oc.pollOnce()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+	}
+}
+
+func (oc *OutputConsumer) pollOnce() (int, error) {
+	recs, err := oc.consumer.Poll(256)
+	if err != nil {
+		return 0, fmt.Errorf("core: output consumer: %w", err)
+	}
+	for _, rec := range recs {
+		batch, err := oc.codec.Unmarshal(rec.Value)
+		if err != nil {
+			return 0, fmt.Errorf("core: output consumer: %w", err)
+		}
+		oc.record(batch, rec.AppendTime)
+	}
+	return len(recs), nil
+}
+
+func (oc *OutputConsumer) record(b *DataBatch, end time.Time) {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.decoded[b.ID] {
+		oc.dupes++
+		return
+	}
+	oc.decoded[b.ID] = true
+	start := b.Created()
+	oc.samples = append(oc.samples, Sample{
+		ID:      b.ID,
+		Start:   start,
+		End:     end,
+		Latency: end.Sub(start),
+	})
+}
+
+// Samples returns the collected measurements in arrival order.
+func (oc *OutputConsumer) Samples() []Sample {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return append([]Sample(nil), oc.samples...)
+}
+
+// Duplicates reports how many duplicate batch IDs were observed.
+func (oc *OutputConsumer) Duplicates() int {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return oc.dupes
+}

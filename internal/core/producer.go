@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"crayfish/internal/broker"
+)
+
+// InputProducer is the Crayfish input workload producer (§3.1): it
+// generates synthetic CrayfishDataBatch events at a configured rate and
+// writes them to the Kafka input topic, recording the start timestamp
+// before the write (§3.3 step 1).
+type InputProducer struct {
+	w       Workload
+	codec   BatchCodec
+	prod    *broker.Producer
+	dataset *Dataset
+
+	mu       sync.Mutex
+	produced int
+}
+
+// NewInputProducer builds a producer for the workload writing to topic.
+func NewInputProducer(t broker.Transport, topic string, w Workload, codec BatchCodec) (*InputProducer, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if codec == nil {
+		codec = JSONCodec{}
+	}
+	p, err := broker.NewProducer(t, topic)
+	if err != nil {
+		return nil, err
+	}
+	ip := &InputProducer{w: w, codec: codec, prod: p}
+	if w.DatasetPath != "" {
+		ds, err := ReadDataset(w.DatasetPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.Validate(&w); err != nil {
+			return nil, err
+		}
+		ip.dataset = ds
+	}
+	return ip, nil
+}
+
+// Produced returns how many events were emitted so far.
+func (p *InputProducer) Produced() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.produced
+}
+
+// Run generates events until the workload duration elapses, MaxEvents is
+// reached, or stop closes. It returns the number of events produced.
+//
+// Rate control: with InputRate > 0 events are paced against the wall
+// clock (an open-loop generator that does not slow down when the SUT
+// lags); with InputRate == 0 the producer saturates. With Bursty set, the
+// rate alternates between BurstRate (for BurstDuration) and BaseRate
+// (for the remainder of each TimeBetweenBursts window).
+func (p *InputProducer) Run(stop <-chan struct{}) (int, error) {
+	gen := newDataGenerator(p.w)
+	gen.dataset = p.dataset
+	batchCap := p.w.ProducerBatch
+	if batchCap <= 0 {
+		batchCap = 64
+	}
+	// linger bounds how long a pending batch may age before it is sent
+	// even if not full, like Kafka's linger.ms ceiling.
+	const linger = 5 * time.Millisecond
+	lastFlush := time.Now()
+	pending := make([]broker.Record, 0, batchCap)
+	flush := func() error {
+		lastFlush = time.Now()
+		if len(pending) == 0 {
+			return nil
+		}
+		if _, _, err := p.prod.SendBatch(pending); err != nil {
+			return fmt.Errorf("core: producer: %w", err)
+		}
+		p.mu.Lock()
+		p.produced += len(pending)
+		p.mu.Unlock()
+		pending = pending[:0]
+		return nil
+	}
+
+	start := time.Now()
+	deadline := start.Add(p.w.Duration)
+	// next is the schedule cursor: each emitted event advances it by the
+	// current inter-arrival gap. Incremental advancement (rather than
+	// id/rate) keeps bursty schedules correct across rate switches and
+	// preserves open-loop semantics: a lagging producer catches up
+	// instead of silently slowing the offered rate.
+	next := start
+	var id int64
+	for {
+		select {
+		case <-stop:
+			err := flush()
+			return p.Produced(), err
+		default:
+		}
+		now := time.Now()
+		if now.After(deadline) {
+			err := flush()
+			return p.Produced(), err
+		}
+		if p.w.MaxEvents > 0 && p.Produced()+len(pending) >= p.w.MaxEvents {
+			err := flush()
+			return p.Produced(), err
+		}
+		rate := p.currentRate(now.Sub(start))
+		if rate > 0 {
+			// When the next event is not yet due, flush what we
+			// have (linger.ms = 0) before waiting.
+			if wait := time.Until(next); wait > 0 {
+				if err := flush(); err != nil {
+					return p.Produced(), err
+				}
+				select {
+				case <-stop:
+					return p.Produced(), nil
+				case <-time.After(wait):
+				}
+			}
+			next = next.Add(time.Duration(float64(time.Second) / rate))
+			// After an overload stall the cursor may lag far
+			// behind the wall clock; cap the debt at one second of
+			// catch-up so a pathological stall does not turn into
+			// an unbounded flood.
+			if lag := time.Since(next); lag > time.Second {
+				next = time.Now().Add(-time.Second)
+			}
+		}
+		batch := gen.next(id)
+		value, err := p.codec.Marshal(batch)
+		if err != nil {
+			return p.Produced(), fmt.Errorf("core: producer: %w", err)
+		}
+		pending = append(pending, broker.Record{Value: value, Timestamp: batch.Created()})
+		if len(pending) >= batchCap || time.Since(lastFlush) >= linger {
+			if err := flush(); err != nil {
+				return p.Produced(), err
+			}
+		}
+		id++
+	}
+}
+
+// currentRate resolves the instantaneous target rate at elapsed time.
+func (p *InputProducer) currentRate(elapsed time.Duration) float64 {
+	if !p.w.Bursty {
+		return p.w.InputRate
+	}
+	phase := elapsed % p.w.TimeBetweenBursts
+	if phase < p.w.BurstDuration {
+		return p.w.BurstRate
+	}
+	return p.w.BaseRate
+}
+
+// dataGenerator produces deterministic tensor-like synthetic data points
+// of the configured shape (§4.1 "Synthetic Input Data").
+type dataGenerator struct {
+	w       Workload
+	rng     *rand.Rand
+	buf     []float32
+	dataset *Dataset
+}
+
+func newDataGenerator(w Workload) *dataGenerator {
+	return &dataGenerator{
+		w:   w,
+		rng: rand.New(rand.NewSource(w.Seed)),
+		buf: make([]float32, w.BatchSize*w.PointLen()),
+	}
+}
+
+// next builds the id-th batch. The returned batch owns a fresh inputs
+// slice (the scratch buffer is only used to amortise RNG work).
+func (g *dataGenerator) next(id int64) *DataBatch {
+	if g.dataset != nil {
+		return &DataBatch{
+			ID:           id,
+			CreatedNanos: time.Now().UnixNano(),
+			Count:        g.w.BatchSize,
+			Inputs:       g.dataset.batchAt(id, g.w.BatchSize),
+		}
+	}
+	for i := range g.buf {
+		g.buf[i] = g.rng.Float32()
+	}
+	inputs := make([]float32, len(g.buf))
+	copy(inputs, g.buf)
+	return &DataBatch{
+		ID:           id,
+		CreatedNanos: time.Now().UnixNano(),
+		Count:        g.w.BatchSize,
+		Inputs:       inputs,
+	}
+}

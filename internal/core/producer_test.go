@@ -1,0 +1,268 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"crayfish/internal/broker"
+)
+
+func producerHarness(t *testing.T) broker.Transport {
+	t.Helper()
+	b := broker.New(broker.DefaultConfig())
+	if err := b.CreateTopic("in", 4); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestProducerConstantRate(t *testing.T) {
+	tr := producerHarness(t)
+	w := Workload{
+		InputShape: []int{4},
+		BatchSize:  2,
+		InputRate:  200,
+		Duration:   200 * time.Millisecond,
+		Seed:       1,
+	}
+	p, err := NewInputProducer(tr, "in", w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 ev/s for 200ms ≈ 40 events; allow generous scheduling slack.
+	if n < 25 || n > 45 {
+		t.Fatalf("produced %d events, want ≈40", n)
+	}
+	if p.Produced() != n {
+		t.Fatalf("Produced() = %d, Run returned %d", p.Produced(), n)
+	}
+}
+
+func TestProducerMaxEvents(t *testing.T) {
+	tr := producerHarness(t)
+	w := Workload{
+		InputShape: []int{4},
+		InputRate:  0, // saturation
+		Duration:   5 * time.Second,
+		MaxEvents:  17,
+		Seed:       1,
+	}
+	p, err := NewInputProducer(tr, "in", w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	n, err := p.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 17 {
+		t.Fatalf("produced %d, want 17", n)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("MaxEvents did not stop the producer early")
+	}
+}
+
+func TestProducerStopChannel(t *testing.T) {
+	tr := producerHarness(t)
+	w := Workload{InputShape: []int{4}, InputRate: 10, Duration: time.Hour, Seed: 1}
+	p, err := NewInputProducer(tr, "in", w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		n, _ := p.Run(stop)
+		done <- n
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("producer ignored stop")
+	}
+}
+
+func TestProducerBatchContents(t *testing.T) {
+	tr := producerHarness(t)
+	w := Workload{InputShape: []int{3, 2}, BatchSize: 4, InputRate: 0, Duration: time.Second, MaxEvents: 3, Seed: 9}
+	p, err := NewInputProducer(tr, "in", w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	c, err := broker.NewAssignedConsumer(tr, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for len(seen) < 3 {
+		recs, err := c.Poll(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			b, err := UnmarshalJSONBatch(rec.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Count != 4 || len(b.Inputs) != 4*6 {
+				t.Fatalf("batch %d: count %d inputs %d", b.ID, b.Count, len(b.Inputs))
+			}
+			if !rec.Timestamp.Equal(b.Created()) {
+				t.Fatal("record CreateTime differs from batch creation timestamp")
+			}
+			seen[b.ID] = true
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("saw %d distinct batches", len(seen))
+	}
+}
+
+func TestProducerBurstRateSchedule(t *testing.T) {
+	w := Workload{
+		InputShape:        []int{4},
+		Bursty:            true,
+		BurstDuration:     30 * time.Millisecond,
+		TimeBetweenBursts: 100 * time.Millisecond,
+		BurstRate:         1000,
+		BaseRate:          100,
+		Duration:          time.Second,
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := &InputProducer{w: w}
+	if got := p.currentRate(5 * time.Millisecond); got != 1000 {
+		t.Fatalf("rate in burst = %v", got)
+	}
+	if got := p.currentRate(50 * time.Millisecond); got != 100 {
+		t.Fatalf("rate between bursts = %v", got)
+	}
+	// Second cycle: burst again.
+	if got := p.currentRate(110 * time.Millisecond); got != 1000 {
+		t.Fatalf("rate in second burst = %v", got)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	bad := Workload{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty shape accepted")
+	}
+	bad = Workload{InputShape: []int{0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-size shape accepted")
+	}
+	bad = Workload{InputShape: []int{4}, Bursty: true}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bursty without bd/tbb accepted")
+	}
+	bad = Workload{InputShape: []int{4}, Bursty: true, BurstDuration: time.Second, TimeBetweenBursts: time.Second}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bursty without rates accepted")
+	}
+	good := Workload{InputShape: []int{4}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.BatchSize != 1 || good.Duration != time.Second {
+		t.Fatalf("defaults not applied: %+v", good)
+	}
+}
+
+func TestDataGeneratorDeterministic(t *testing.T) {
+	w := Workload{InputShape: []int{8}, BatchSize: 2, Seed: 5, Duration: time.Second}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := newDataGenerator(w).next(0)
+	b := newDataGenerator(w).next(0)
+	for i := range a.Inputs {
+		if a.Inputs[i] != b.Inputs[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := newDataGenerator(Workload{InputShape: []int{8}, BatchSize: 2, Seed: 6}).next(0)
+	same := true
+	for i := range a.Inputs {
+		if a.Inputs[i] != c.Inputs[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestConsumerLatencyFromAppendTime(t *testing.T) {
+	// The end timestamp must be the broker's LogAppendTime, not the
+	// consumer's read time.
+	fixed := time.Unix(1000, 0)
+	b := broker.New(broker.Config{Clock: func() time.Time { return fixed }})
+	if err := b.CreateTopic("out", 1); err != nil {
+		t.Fatal(err)
+	}
+	oc, err := NewOutputConsumer(b, "out", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	created := fixed.Add(-30 * time.Millisecond)
+	batch := &DataBatch{ID: 1, CreatedNanos: created.UnixNano(), Count: 1, Inputs: []float32{1}}
+	value, err := MarshalJSONBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("out", 0, []broker.Record{{Value: value}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oc.pollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	samples := oc.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("samples %d", len(samples))
+	}
+	if samples[0].Latency != 30*time.Millisecond {
+		t.Fatalf("latency %v, want 30ms exactly (from LogAppendTime)", samples[0].Latency)
+	}
+}
+
+func TestConsumerDeduplicates(t *testing.T) {
+	b := broker.New(broker.DefaultConfig())
+	if err := b.CreateTopic("out", 1); err != nil {
+		t.Fatal(err)
+	}
+	oc, err := NewOutputConsumer(b, "out", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := &DataBatch{ID: 7, CreatedNanos: time.Now().UnixNano(), Count: 1, Inputs: []float32{1}}
+	value, _ := MarshalJSONBatch(batch)
+	for i := 0; i < 3; i++ {
+		if _, err := b.Produce("out", 0, []broker.Record{{Value: value}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := oc.pollOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(oc.Samples()) != 1 || oc.Duplicates() != 2 {
+		t.Fatalf("samples %d dupes %d", len(oc.Samples()), oc.Duplicates())
+	}
+}

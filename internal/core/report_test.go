@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFormatMetrics(t *testing.T) {
+	m := Metrics{
+		Produced: 100, Consumed: 98, Warmup: 24, Throughput: 123.45,
+		Latency: LatencyStats{
+			Mean: 5 * time.Millisecond, StdDev: time.Millisecond,
+			Min: time.Millisecond, Max: 9 * time.Millisecond,
+			P50: 5 * time.Millisecond, P95: 8 * time.Millisecond, P99: 9 * time.Millisecond,
+		},
+	}
+	s := FormatMetrics(m)
+	for _, want := range []string{"123.45 events/s", "98 events", "p99 9ms", "± 1ms"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("FormatMetrics missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSamplesCSVRoundTripProperty(t *testing.T) {
+	f := func(ids []int64) bool {
+		samples := make([]Sample, len(ids))
+		for i, id := range ids {
+			start := time.Unix(0, int64(i)*1000)
+			samples[i] = Sample{
+				ID:      id,
+				Start:   start,
+				End:     start.Add(time.Duration(i+1) * time.Microsecond),
+				Latency: time.Duration(i+1) * time.Microsecond,
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteSamplesCSV(&buf, samples); err != nil {
+			return false
+		}
+		got, err := ReadSamplesCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(samples) {
+			return false
+		}
+		for i := range got {
+			if got[i].ID != samples[i].ID || got[i].Latency != samples[i].Latency ||
+				!got[i].Start.Equal(samples[i].Start) || !got[i].End.Equal(samples[i].End) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSamplesCSVRejectsMalformed(t *testing.T) {
+	if _, err := ReadSamplesCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+	if _, err := ReadSamplesCSV(strings.NewReader("id,start_ns,end_ns,latency_ns\n1,2,3\n")); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := ReadSamplesCSV(strings.NewReader("id,start_ns,end_ns,latency_ns\nx,2,3,4\n")); err == nil {
+		t.Fatal("non-numeric row accepted")
+	}
+}

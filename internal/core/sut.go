@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"crayfish/internal/gpu"
+	"crayfish/internal/model"
+	"crayfish/internal/modelfmt"
+	"crayfish/internal/netsim"
+	"crayfish/internal/serving"
+	"crayfish/internal/serving/embedded"
+	"crayfish/internal/serving/external"
+	"crayfish/internal/sps"
+)
+
+// ModelSpec selects a pre-trained model for an experiment.
+type ModelSpec struct {
+	// Name is "ffnn" (the paper's 28K-parameter Fashion-MNIST
+	// classifier), "resnet" (the reduced-width benchmark ResNet; see
+	// DESIGN.md §1), or "resnet50" (full width).
+	Name string
+	// Seed drives deterministic weight initialisation.
+	Seed int64
+	// Custom supplies an arbitrary model instead of a named one.
+	Custom *model.Model
+}
+
+// Build materialises the model.
+func (s ModelSpec) Build() (*model.Model, error) {
+	if s.Custom != nil {
+		return s.Custom, s.Custom.Validate()
+	}
+	switch s.Name {
+	case "", "ffnn":
+		return model.NewFFNN(s.Seed), nil
+	case "resnet":
+		return model.NewResNet(model.BenchResNetConfig(s.Seed)), nil
+	case "resnet50":
+		return model.NewResNet50(s.Seed), nil
+	default:
+		return nil, fmt.Errorf("core: unknown model %q", s.Name)
+	}
+}
+
+// BuildScorer assembles the serving side of the SUT: an embedded runtime
+// loading the model through its native storage format, or an external
+// serving daemon plus client. The returned cleanup releases servers and
+// clients and is safe to call once.
+func BuildScorer(cfg ServingConfig, m *model.Model, mp int) (serving.Scorer, func(), error) {
+	return BuildScorerNet(cfg, m, mp, netsim.Loopback)
+}
+
+// BuildScorerNet is BuildScorer with a network profile applied to the
+// external serving link (the serving VM hop of §4.2).
+func BuildScorerNet(cfg ServingConfig, m *model.Model, mp int, network netsim.Profile) (serving.Scorer, func(), error) {
+	dev, err := gpu.ByName(cfg.Device)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch cfg.Mode {
+	case Embedded:
+		rt, err := embedded.New(embedded.Kind(cfg.Tool), dev)
+		if err != nil {
+			return nil, nil, err
+		}
+		stored, err := modelfmt.Encode(rt.Format(), m)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := rt.Load(stored); err != nil {
+			return nil, nil, err
+		}
+		return rt, func() {}, nil
+
+	case External:
+		kind := external.Kind(cfg.Tool)
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = mp
+		}
+		addr := cfg.Addr
+		var srv external.Server
+		if addr == "" {
+			f, err := external.Format(kind)
+			if err != nil {
+				return nil, nil, err
+			}
+			stored, err := modelfmt.Encode(f, m)
+			if err != nil {
+				return nil, nil, err
+			}
+			srv, err = external.Start(external.Config{
+				Kind:       kind,
+				ModelBytes: stored,
+				Workers:    workers,
+				Device:     dev,
+				Network:    network,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			addr = srv.Addr()
+		}
+		client, err := external.DialClient(kind, addr)
+		if err != nil {
+			if srv != nil {
+				srv.Close()
+			}
+			return nil, nil, err
+		}
+		cleanup := func() {
+			client.Close()
+			if srv != nil {
+				srv.Close()
+			}
+		}
+		return client, cleanup, nil
+
+	default:
+		return nil, nil, fmt.Errorf("core: unknown serving mode %q", cfg.Mode)
+	}
+}
+
+// MakeTransform builds the scoring operator's logic: decode the
+// CrayfishDataBatch, score it (embedded in-process or via a blocking
+// external call), attach the predictions, re-encode.
+func MakeTransform(codec BatchCodec, scorer serving.Scorer) sps.Transform {
+	if codec == nil {
+		codec = JSONCodec{}
+	}
+	return func(value []byte) ([]byte, error) {
+		b, err := codec.Unmarshal(value)
+		if err != nil {
+			return nil, err
+		}
+		preds, err := scorer.Score(b.Inputs, b.Count)
+		if err != nil {
+			return nil, err
+		}
+		b.Predictions = preds
+		return codec.Marshal(b)
+	}
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"crayfish/internal/netsim"
+)
+
+// tinyOptions runs experiments at the smallest meaningful scale with a
+// light network profile so the whole suite stays fast under `go test`.
+func tinyOptions() Options {
+	lan := netsim.Profile{Latency: netsim.LAN.Latency / 4, BandwidthBytesPerSec: netsim.LAN.BandwidthBytesPerSec}
+	return Options{
+		Scale:        0.04,
+		Runs:         1,
+		Parallelisms: []int{1, 2},
+		Fanout:       4,
+		Partitions:   4,
+		Network:      &lan,
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r, err := Table2ModelSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	if !strings.Contains(r.String(), "ffnn") {
+		t.Fatal("report missing ffnn row")
+	}
+}
+
+func TestTable4Tiny(t *testing.T) {
+	r, err := Table4ServingThroughput(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+}
+
+func TestTable5Tiny(t *testing.T) {
+	r, err := Table5SPSThroughput(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+}
+
+func TestFigure5Tiny(t *testing.T) {
+	opts := tinyOptions()
+	r, err := Figure5LatencyBatchSize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+}
+
+func TestFigure6Tiny(t *testing.T) {
+	r, err := Figure6ScaleUpFFNN(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 || len(r.Header) != 3 {
+		t.Fatalf("shape %dx%d", len(r.Rows), len(r.Header))
+	}
+}
+
+func TestFigure7Tiny(t *testing.T) {
+	r, err := Figure7ScaleUpResNet(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+}
+
+func TestFigure8Tiny(t *testing.T) {
+	r, err := Figure8BurstRecovery(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+}
+
+func TestFigure9Tiny(t *testing.T) {
+	r, err := Figure9GPUAcceleration(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+}
+
+func TestFigure10Tiny(t *testing.T) {
+	r, err := Figure10SPSLatency(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+}
+
+func TestFigure11Tiny(t *testing.T) {
+	r, err := Figure11SPSScaleUp(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+}
+
+func TestFigure12Tiny(t *testing.T) {
+	r, err := Figure12OperatorParallelism(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+}
+
+func TestFigure13Tiny(t *testing.T) {
+	r, err := Figure13KafkaOverhead(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+}
+
+func TestAblationsTiny(t *testing.T) {
+	for _, d := range All() {
+		if !strings.HasPrefix(d.ID, "ablation-") {
+			continue
+		}
+		r, err := d.Run(tinyOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", d.ID, err)
+		}
+		if len(r.Rows) < 2 {
+			t.Fatalf("%s: rows %d", d.ID, len(r.Rows))
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	defs := All()
+	if len(defs) != 19 {
+		t.Fatalf("registry has %d experiments", len(defs))
+	}
+	seen := map[string]bool{}
+	for _, d := range defs {
+		if seen[d.ID] {
+			t.Fatalf("duplicate id %q", d.ID)
+		}
+		seen[d.ID] = true
+		if _, err := ByID(d.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ByID("figure99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{ID: "X", Title: "T", Header: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.AddNote("hello %d", 5)
+	s := r.String()
+	for _, want := range []string{"X — T", "a", "bb", "hello 5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1 || o.Runs != 2 || o.Fanout != 32 || o.Partitions != 32 {
+		t.Fatalf("defaults %+v", o)
+	}
+	if o.Network == nil || !o.Network.Enabled() {
+		t.Fatal("LAN default missing")
+	}
+	if len(o.Parallelisms) == 0 {
+		t.Fatal("parallelism sweep missing")
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	r := &Report{ID: "Table X", Title: "demo", Header: []string{"a", "b"}}
+	r.AddRow("1", "2")
+	r.AddNote("caveat")
+	md := r.Markdown()
+	for _, want := range []string{"### Table X", "| a | b |", "| --- | --- |", "| 1 | 2 |", "> caveat"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Definition pairs an experiment ID with its runner.
+type Definition struct {
+	ID   string
+	Name string
+	Run  func(Options) (*Report, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Definition {
+	return []Definition{
+		{"table2", "Model characteristics and stored sizes", func(Options) (*Report, error) { return Table2ModelSizes() }},
+		{"table4", "Serving-tool throughput on Flink", Table4ServingThroughput},
+		{"figure5", "Latency vs batch size on Flink", Figure5LatencyBatchSize},
+		{"figure6", "Scale-up, Flink + FFNN", Figure6ScaleUpFFNN},
+		{"figure7", "Scale-up, Flink + ResNet", Figure7ScaleUpResNet},
+		{"figure8", "Burst recovery", Figure8BurstRecovery},
+		{"figure9", "GPU acceleration", Figure9GPUAcceleration},
+		{"table5", "Stream-processor throughput", Table5SPSThroughput},
+		{"figure10", "Latency across SPSs", Figure10SPSLatency},
+		{"figure11", "Scale-up across SPSs", Figure11SPSScaleUp},
+		{"figure12", "Operator-level parallelism", Figure12OperatorParallelism},
+		{"figure13", "Kafka overhead", Figure13KafkaOverhead},
+		{"ablation-batching", "Producer-level batching", AblationProducerBatching},
+		{"ablation-serialization", "JSON vs binary pipeline codec", AblationSerialization},
+		{"ablation-transport", "In-process vs TCP broker", AblationTransport},
+		{"ablation-fusion", "Fused vs unfused execution", AblationFusedExecution},
+		{"ablation-asyncio", "Blocking vs async I/O external calls", AblationAsyncIO},
+		{"ablation-kernels", "Accelerator kernel paths", AblationFastKernels},
+		{"ablation-network", "Loopback vs modelled LAN", AblationNetworkRealism},
+	}
+}
+
+// ByID returns one experiment definition.
+func ByID(id string) (Definition, error) {
+	for _, d := range All() {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, d := range All() {
+		ids = append(ids, d.ID)
+	}
+	sort.Strings(ids)
+	return Definition{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, ids)
+}

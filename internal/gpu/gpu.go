@@ -1,0 +1,101 @@
+// Package gpu models the hardware accelerator used by the paper's RQ2
+// experiments (NVIDIA T4). A Device decides how a runtime executes its
+// kernels and what data-movement cost it pays:
+//
+//   - The CPU device runs kernels sequentially with no transfer cost.
+//   - The GPU device runs kernels data-parallel across host cores (real
+//     speedup from real work) and charges an explicit host↔device transfer
+//     cost per inference call: bytes divided by PCIe-like bandwidth plus a
+//     fixed kernel-launch latency. The transfer pacing is the one place in
+//     this repository where time is modelled rather than computed; see
+//     DESIGN.md §5.
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Device abstracts the execution hardware available to a serving runtime.
+type Device interface {
+	// Name identifies the device ("cpu", "gpu").
+	Name() string
+	// Workers is the kernel-level parallelism the device offers; 1 means
+	// sequential execution.
+	Workers() int
+	// FastKernels reports whether the device's kernel library uses
+	// fast convolution algorithms (Winograd), as accelerator libraries
+	// like cuDNN do.
+	FastKernels() bool
+	// Transfer accounts for moving n bytes between host and device.
+	// It blocks for the modelled duration on accelerator devices and is
+	// free on the CPU.
+	Transfer(n int)
+}
+
+// CPU returns the host processor device.
+func CPU() Device { return cpuDevice{} }
+
+type cpuDevice struct{}
+
+func (cpuDevice) Name() string      { return "cpu" }
+func (cpuDevice) Workers() int      { return 1 }
+func (cpuDevice) FastKernels() bool { return false }
+func (cpuDevice) Transfer(int)      {}
+
+// Config tunes the simulated accelerator.
+type Config struct {
+	// Workers is the data-parallel kernel width. 0 means all host cores.
+	Workers int
+	// BandwidthBytesPerSec models the host↔device interconnect.
+	// 0 means 12 GB/s (PCIe 3.0 x16 effective, the T4's link).
+	BandwidthBytesPerSec float64
+	// LaunchLatency is the fixed per-call kernel launch + driver cost.
+	// 0 means 30 µs.
+	LaunchLatency time.Duration
+}
+
+// NewGPU returns an accelerator device.
+func NewGPU(cfg Config) Device {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.BandwidthBytesPerSec <= 0 {
+		cfg.BandwidthBytesPerSec = 12e9
+	}
+	if cfg.LaunchLatency <= 0 {
+		cfg.LaunchLatency = 30 * time.Microsecond
+	}
+	return &gpuDevice{cfg: cfg}
+}
+
+type gpuDevice struct {
+	cfg Config
+}
+
+func (g *gpuDevice) Name() string { return "gpu" }
+
+func (g *gpuDevice) Workers() int { return g.cfg.Workers }
+
+func (g *gpuDevice) FastKernels() bool { return true }
+
+func (g *gpuDevice) Transfer(n int) {
+	if n <= 0 {
+		return
+	}
+	d := g.cfg.LaunchLatency + time.Duration(float64(n)/g.cfg.BandwidthBytesPerSec*float64(time.Second))
+	time.Sleep(d)
+}
+
+// ByName resolves "cpu" or "gpu" (with defaults) for configuration files.
+func ByName(name string) (Device, error) {
+	switch name {
+	case "", "cpu":
+		return CPU(), nil
+	case "gpu":
+		return NewGPU(Config{}), nil
+	default:
+		return nil, fmt.Errorf("gpu: unknown device %q", name)
+	}
+}

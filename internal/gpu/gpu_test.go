@@ -1,0 +1,63 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCPUDevice(t *testing.T) {
+	d := CPU()
+	if d.Name() != "cpu" || d.Workers() != 1 {
+		t.Fatalf("cpu device = %s/%d", d.Name(), d.Workers())
+	}
+	start := time.Now()
+	d.Transfer(1 << 30)
+	if time.Since(start) > time.Millisecond {
+		t.Fatal("cpu Transfer should be free")
+	}
+}
+
+func TestGPUDefaults(t *testing.T) {
+	d := NewGPU(Config{})
+	if d.Name() != "gpu" {
+		t.Fatalf("name = %s", d.Name())
+	}
+	if d.Workers() < 1 {
+		t.Fatalf("workers = %d", d.Workers())
+	}
+}
+
+func TestGPUTransferScalesWithBytes(t *testing.T) {
+	d := NewGPU(Config{Workers: 2, BandwidthBytesPerSec: 1e9, LaunchLatency: time.Microsecond})
+	start := time.Now()
+	d.Transfer(10_000_000) // 10 MB at 1 GB/s ≈ 10 ms
+	small := time.Since(start)
+	if small < 8*time.Millisecond {
+		t.Fatalf("10MB transfer took %v, want ≈10ms", small)
+	}
+	start = time.Now()
+	d.Transfer(0)
+	if time.Since(start) > time.Millisecond {
+		t.Fatal("zero-byte transfer should be free")
+	}
+}
+
+func TestGPULaunchLatencyFloor(t *testing.T) {
+	d := NewGPU(Config{Workers: 1, BandwidthBytesPerSec: 1e12, LaunchLatency: 5 * time.Millisecond})
+	start := time.Now()
+	d.Transfer(1)
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("launch latency not applied")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "cpu", "gpu"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+	}
+	if _, err := ByName("tpu"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}

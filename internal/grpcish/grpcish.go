@@ -1,0 +1,340 @@
+// Package grpcish is the minimal gRPC-analogue RPC substrate the external
+// serving frameworks use (§3.4.3 uses gRPC for TensorFlow Serving and
+// TorchServe). It provides unary calls over TCP with length-prefixed binary
+// frames, per-method dispatch, deadlines, and client-side connection
+// pooling. Payloads are opaque bytes; services define their own codecs.
+package grpcish
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds one RPC frame.
+const maxFrame = 96 << 20
+
+// ErrClosed is returned for operations on a closed client or server.
+var ErrClosed = errors.New("grpcish: closed")
+
+// Status codes carried in response frames.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// Handler serves one unary method invocation.
+type Handler func(req []byte) ([]byte, error)
+
+// Server dispatches RPC frames to registered method handlers.
+type Server struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server with no registered methods.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]bool)}
+}
+
+// Handle registers a method handler. It must be called before Serve.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Serve binds addr and accepts connections until Close.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound address; empty before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		method, payload, err := readRequest(br)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		h := s.handlers[method]
+		s.mu.Unlock()
+		var resp []byte
+		status := byte(statusOK)
+		if h == nil {
+			status = statusErr
+			resp = []byte(fmt.Sprintf("grpcish: unimplemented method %q", method))
+		} else if resp, err = h(payload); err != nil {
+			status = statusErr
+			resp = []byte(err.Error())
+		}
+		if err := writeResponse(bw, status, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// request frame: u32 frame length | u16 method length | method | payload.
+func writeRequest(w io.Writer, method string, payload []byte) error {
+	total := 2 + len(method) + len(payload)
+	if total > maxFrame {
+		return fmt.Errorf("grpcish: request of %d bytes exceeds frame limit", total)
+	}
+	hdr := make([]byte, 6+len(method))
+	binary.BigEndian.PutUint32(hdr, uint32(total))
+	binary.BigEndian.PutUint16(hdr[4:], uint16(len(method)))
+	copy(hdr[6:], method)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readRequest(r io.Reader) (string, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total > maxFrame || total < 2 {
+		return "", nil, fmt.Errorf("grpcish: bad frame length %d", total)
+	}
+	frame := make([]byte, total)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return "", nil, err
+	}
+	mlen := int(binary.BigEndian.Uint16(frame))
+	if 2+mlen > len(frame) {
+		return "", nil, fmt.Errorf("grpcish: bad method length %d", mlen)
+	}
+	return string(frame[2 : 2+mlen]), frame[2+mlen:], nil
+}
+
+// response frame: u32 length | u8 status | payload.
+func writeResponse(w io.Writer, status byte, payload []byte) error {
+	total := 1 + len(payload)
+	if total > maxFrame {
+		return fmt.Errorf("grpcish: response of %d bytes exceeds frame limit", total)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(total))
+	hdr[4] = status
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readResponse(r io.Reader) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total > maxFrame || total < 1 {
+		return 0, nil, fmt.Errorf("grpcish: bad frame length %d", total)
+	}
+	frame := make([]byte, total)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return 0, nil, err
+	}
+	return frame[0], frame[1:], nil
+}
+
+// Client issues unary calls to a server, pooling connections so concurrent
+// callers proceed in parallel.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+}
+
+type clientConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// DialOption configures a Client.
+type DialOption func(*Client)
+
+// WithTimeout sets a per-call deadline (default: none).
+func WithTimeout(d time.Duration) DialOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// Dial connects to addr, validating connectivity eagerly.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	c := &Client{addr: addr}
+	for _, o := range opts {
+		o(c)
+	}
+	conn, err := c.checkout()
+	if err != nil {
+		return nil, err
+	}
+	c.checkin(conn)
+	return c, nil
+}
+
+// Close releases pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, cc := range c.idle {
+		cc.c.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+func (c *Client) checkout() (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("grpcish: dial %s: %w", c.addr, err)
+	}
+	return &clientConn{c: conn, br: bufio.NewReaderSize(conn, 64<<10), bw: bufio.NewWriterSize(conn, 64<<10)}, nil
+}
+
+func (c *Client) checkin(cc *clientConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= 128 {
+		cc.c.Close()
+		return
+	}
+	c.idle = append(c.idle, cc)
+}
+
+// Call performs one unary RPC. An application error returned by the remote
+// handler comes back as an error whose message is the handler's.
+func (c *Client) Call(method string, req []byte) ([]byte, error) {
+	cc, err := c.checkout()
+	if err != nil {
+		return nil, err
+	}
+	if c.timeout > 0 {
+		cc.c.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := writeRequest(cc.bw, method, req); err != nil {
+		cc.c.Close()
+		return nil, err
+	}
+	if err := cc.bw.Flush(); err != nil {
+		cc.c.Close()
+		return nil, err
+	}
+	status, payload, err := readResponse(cc.br)
+	if err != nil {
+		cc.c.Close()
+		return nil, err
+	}
+	if c.timeout > 0 {
+		cc.c.SetDeadline(time.Time{})
+	}
+	c.checkin(cc)
+	if status != statusOK {
+		return nil, fmt.Errorf("grpcish: remote error: %s", payload)
+	}
+	return payload, nil
+}

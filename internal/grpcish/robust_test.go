@@ -1,0 +1,62 @@
+package grpcish
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"testing"
+)
+
+// TestServerSurvivesGarbage throws random byte streams and malformed
+// frames at the RPC server: connections drop, the process survives, and
+// well-formed clients keep working.
+func TestServerSurvivesGarbage(t *testing.T) {
+	s := NewServer()
+	s.Handle("echo", func(req []byte) ([]byte, error) { return req, nil })
+	if err := s.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		junk := make([]byte, r.Intn(256)+1)
+		r.Read(junk)
+		conn.Write(junk)
+		conn.Close()
+	}
+
+	// Oversized frame length.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	conn.Write(hdr[:])
+	conn.Close()
+
+	// Method length exceeding the frame.
+	conn, err = net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := []byte{0, 0, 0, 4, 0xFF, 0xFF, 0, 0}
+	conn.Write(frame)
+	conn.Close()
+
+	// A real client still works.
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call("echo", []byte("still alive"))
+	if err != nil || string(resp) != "still alive" {
+		t.Fatalf("post-garbage call: %q, %v", resp, err)
+	}
+}

@@ -1,0 +1,6 @@
+package model
+
+import "time"
+
+// nowNanos is a test helper for coarse relative-cost measurements.
+func nowNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,61 @@
+package model
+
+import (
+	"fmt"
+
+	"crayfish/internal/tensor"
+)
+
+// Agreement scores two models on the same inputs and returns the fraction
+// of data points whose argmax predictions match. It is the semantic check
+// behind format conversion (a converted model must agree 100% with its
+// source) and a cheap proxy when comparing candidate models against a
+// reference during tuning (§2.2.2).
+func Agreement(a, b *Model, inputs []float32, n int) (float64, error) {
+	if a.InputLen() != b.InputLen() || a.OutputSize != b.OutputSize {
+		return 0, fmt.Errorf("model: agreement requires matching shapes (%d→%d vs %d→%d)",
+			a.InputLen(), a.OutputSize, b.InputLen(), b.OutputSize)
+	}
+	if n <= 0 || len(inputs) != n*a.InputLen() {
+		return 0, fmt.Errorf("model: agreement batch of %d points wants %d values, got %d", n, n*a.InputLen(), len(inputs))
+	}
+	mk := func(m *Model) (*tensor.Tensor, error) {
+		return m.BatchInput(append([]float32(nil), inputs...), n)
+	}
+	ain, err := mk(a)
+	if err != nil {
+		return 0, err
+	}
+	aout, err := a.Forward(ain)
+	if err != nil {
+		return 0, err
+	}
+	bin, err := mk(b)
+	if err != nil {
+		return 0, err
+	}
+	bout, err := b.Forward(bin)
+	if err != nil {
+		return 0, err
+	}
+	matches := 0
+	for i := 0; i < n; i++ {
+		if argmaxRow(aout, i) == argmaxRow(bout, i) {
+			matches++
+		}
+	}
+	return float64(matches) / float64(n), nil
+}
+
+// argmaxRow returns the argmax of row i of a rank-2 tensor.
+func argmaxRow(t *tensor.Tensor, i int) int {
+	cols := t.Dim(1)
+	row := t.Data()[i*cols : (i+1)*cols]
+	best, bi := row[0], 0
+	for j, v := range row[1:] {
+		if v > best {
+			best, bi = v, j+1
+		}
+	}
+	return bi
+}

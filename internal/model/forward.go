@@ -1,0 +1,199 @@
+package model
+
+import (
+	"fmt"
+
+	"crayfish/internal/tensor"
+)
+
+// ExecHints tunes how a forward pass executes. The zero value is the
+// sequential reference path; accelerator devices request data-parallel
+// kernels (Workers > 1) and fast convolution algorithms (FastConv), both
+// producing identical outputs within float tolerance.
+type ExecHints struct {
+	// Workers fans conv/matmul kernels out across goroutines when > 1.
+	Workers int
+	// FastConv selects the Winograd F(2×2,3×3) kernel for eligible
+	// convolutions (3×3, stride 1), as accelerator libraries do.
+	FastConv bool
+}
+
+// execOpts is the internal alias for ExecHints.
+type execOpts = ExecHints
+
+// Forward runs the reference (unfused, sequential) forward pass over a
+// batch. For dense models the input has shape [n, features]; for
+// convolutional models [n, c, h, w]. It returns the [n, classes] output.
+//
+// This is the oracle implementation: every serving runtime must produce
+// outputs that match Forward bit-for-bit or within float tolerance.
+func (m *Model) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	return m.forward(in, execOpts{})
+}
+
+// ForwardParallel is Forward with conv/matmul kernels fanned out across
+// workers.
+func (m *Model) ForwardParallel(in *tensor.Tensor, workers int) (*tensor.Tensor, error) {
+	return m.forward(in, execOpts{Workers: workers})
+}
+
+// ForwardWith runs the forward pass with explicit execution hints; it is
+// the entry point device-aware runtimes use.
+func (m *Model) ForwardWith(in *tensor.Tensor, hints ExecHints) (*tensor.Tensor, error) {
+	return m.forward(in, hints)
+}
+
+func (m *Model) forward(in *tensor.Tensor, opts execOpts) (*tensor.Tensor, error) {
+	x := in
+	var skips []*tensor.Tensor
+	var err error
+	for i, l := range m.Layers {
+		x, skips, err = applyLayer(l, x, skips, opts)
+		if err != nil {
+			return nil, fmt.Errorf("model %q layer %d (%s): %w", m.Name, i, l.Name, err)
+		}
+	}
+	if len(skips) != 0 {
+		return nil, fmt.Errorf("model %q: %d unconsumed skip connections", m.Name, len(skips))
+	}
+	return x, nil
+}
+
+// applyLayer executes one layer, returning the new activation and skip
+// stack.
+func applyLayer(l *Layer, x *tensor.Tensor, skips []*tensor.Tensor, opts execOpts) (*tensor.Tensor, []*tensor.Tensor, error) {
+	switch l.Kind {
+	case KindDense:
+		var y *tensor.Tensor
+		var err error
+		if opts.Workers > 1 {
+			y, err = tensor.MatMulParallel(x, l.W, opts.Workers)
+		} else {
+			y, err = tensor.MatMul(x, l.W)
+		}
+		if err != nil {
+			return nil, skips, err
+		}
+		if _, err := tensor.AddBias(y, l.B); err != nil {
+			return nil, skips, err
+		}
+		return y, skips, nil
+
+	case KindReLU:
+		return tensor.ReLU(x), skips, nil
+
+	case KindSoftmax:
+		y, err := tensor.Softmax(x)
+		return y, skips, err
+
+	case KindConv:
+		y, err := convOp(x, l, opts)
+		return y, skips, err
+
+	case KindBatchNorm:
+		y, err := tensor.BatchNorm(x, l.Gamma, l.Beta, l.Mean, l.Variance, l.Eps)
+		return y, skips, err
+
+	case KindMaxPool:
+		y, err := tensor.MaxPool2D(x, l.PoolSize, l.Stride, l.Pad)
+		return y, skips, err
+
+	case KindGlobalAvg:
+		y, err := tensor.GlobalAvgPool2D(x)
+		return y, skips, err
+
+	case KindFlatten:
+		y, err := x.Reshape(x.Dim(0), -1)
+		return y, skips, err
+
+	case KindSaveSkip:
+		return x, append(skips, x), nil
+
+	case KindProjSkip:
+		if len(skips) == 0 {
+			return nil, skips, fmt.Errorf("projskip with empty skip stack")
+		}
+		skip := skips[len(skips)-1]
+		y, err := convOp(skip, l, opts)
+		if err != nil {
+			return nil, skips, err
+		}
+		if l.Gamma != nil {
+			if _, err := tensor.BatchNorm(y, l.Gamma, l.Beta, l.Mean, l.Variance, l.Eps); err != nil {
+				return nil, skips, err
+			}
+		}
+		skips[len(skips)-1] = y
+		return x, skips, nil
+
+	case KindResidual:
+		if len(skips) == 0 {
+			return nil, skips, fmt.Errorf("residual with empty skip stack")
+		}
+		skip := skips[len(skips)-1]
+		skips = skips[:len(skips)-1]
+		y, err := tensor.AddInPlace(x, skip)
+		return y, skips, err
+
+	default:
+		return nil, skips, fmt.Errorf("unknown layer kind %q", l.Kind)
+	}
+}
+
+func convOp(x *tensor.Tensor, l *Layer, opts execOpts) (*tensor.Tensor, error) {
+	var y *tensor.Tensor
+	var err error
+	switch {
+	case opts.FastConv && l.Stride == 1 && l.W.Dim(2) == 3 && l.W.Dim(3) == 3:
+		y, err = l.winogradApply(x)
+	case opts.FastConv && opts.Workers > 1:
+		y, err = tensor.Conv2DParallel(x, l.W, l.Stride, l.Pad, opts.Workers)
+	case opts.FastConv:
+		y, err = tensor.Conv2D(x, l.W, l.Stride, l.Pad)
+	default:
+		// The CPU device runs the single-thread reference kernel,
+		// matching the paper's one-thread CPU inference setting.
+		y, err = tensor.Conv2DReference(x, l.W, l.Stride, l.Pad)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if l.B != nil {
+		if _, err := tensor.AddChannelBias(y, l.B); err != nil {
+			return nil, err
+		}
+	}
+	return y, nil
+}
+
+// winogradApply runs the layer's cached Winograd transform, building it on
+// first use (the weight transform amortises across calls, as in real
+// inference runtimes).
+func (l *Layer) winogradApply(x *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	l.winoOnce.Do(func() {
+		l.winograd, err = tensor.NewWinogradConv(l.W)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if l.winograd == nil {
+		return nil, fmt.Errorf("winograd transform unavailable for layer %s", l.Name)
+	}
+	return l.winograd.Apply(x, l.Pad)
+}
+
+// BatchInput reshapes a flat batch of data points into the tensor shape the
+// model expects: [n, features] for dense models, [n, c, h, w] for
+// convolutional ones. The data slice must hold n×InputLen values.
+func (m *Model) BatchInput(data []float32, n int) (*tensor.Tensor, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("model %q: non-positive batch size %d", m.Name, n)
+	}
+	want := n * m.InputLen()
+	if len(data) != want {
+		return nil, fmt.Errorf("model %q: batch of %d points needs %d values, got %d", m.Name, n, want, len(data))
+	}
+	shape := append([]int{n}, m.InputShape...)
+	return tensor.FromSlice(data, shape...)
+}

@@ -1,0 +1,122 @@
+package modelfmt
+
+import (
+	"fmt"
+
+	"crayfish/internal/model"
+)
+
+// h5Magic identifies the H5-analogue container.
+const h5Magic = "\x89CRF-HDF5\r\n\x1a\n"
+
+// h5HeaderPad is the fixed per-dataset object-header size: HDF5 stores
+// dataset headers in fixed-size blocks with alignment padding, which gives
+// the Keras H5 file its moderate overhead over raw weights (Table 2:
+// 133 KB vs ONNX's 113 KB for the FFNN).
+const h5HeaderPad = 256
+
+// h5Codec emulates the hierarchical HDF5 layout Keras uses: a superblock,
+// a group tree (one group per layer), and named datasets with fixed-size
+// padded object headers.
+type h5Codec struct{}
+
+func (h5Codec) Format() Format { return H5 }
+
+func (h5Codec) Encode(m *model.Model) ([]byte, error) {
+	w := &binWriter{}
+	w.raw([]byte(h5Magic))
+	w.u32(0) // superblock version
+	w.str("keras_version=2.11.0-crayfish")
+	w.str("backend=crayfish-tensor")
+	w.writeModelHeader(m)
+	for _, l := range m.Layers {
+		// Group header for the layer.
+		w.str("/model_weights/" + l.Name)
+		w.writeLayerCommon(l)
+		ts := layerTensors(l)
+		present := uint32(0)
+		for j, t := range ts {
+			if t != nil {
+				present |= 1 << uint(j)
+			}
+		}
+		w.u32(present)
+		for j, t := range ts {
+			if t == nil {
+				continue
+			}
+			// Dataset object header: name, dtype, padded to a
+			// fixed block like HDF5 object headers.
+			hdrStart := len(w.bytes())
+			w.str("/model_weights/" + l.Name + "/" + tensorFieldNames[j] + ":0")
+			w.str("dtype=float32")
+			w.str("layout=contiguous")
+			hdrLen := len(w.bytes()) - hdrStart
+			if hdrLen < h5HeaderPad {
+				w.raw(make([]byte, h5HeaderPad-hdrLen))
+			}
+			w.tensorField(t)
+		}
+	}
+	return w.bytes(), nil
+}
+
+func (h5Codec) Decode(data []byte) (*model.Model, error) {
+	if !hasMagic(data, h5Magic) {
+		return nil, fmt.Errorf("modelfmt: not an H5 container")
+	}
+	r := newBinReader(data[len(h5Magic):])
+	if _, err := r.u32(); err != nil {
+		return nil, fmt.Errorf("modelfmt: h5 superblock: %w", err)
+	}
+	for i := 0; i < 2; i++ { // keras_version, backend attributes
+		if _, err := r.str(); err != nil {
+			return nil, fmt.Errorf("modelfmt: h5 attributes: %w", err)
+		}
+	}
+	m, nLayers, err := r.readModelHeader()
+	if err != nil {
+		return nil, fmt.Errorf("modelfmt: h5 model header: %w", err)
+	}
+	for i := 0; i < nLayers; i++ {
+		if _, err := r.str(); err != nil { // group path
+			return nil, fmt.Errorf("modelfmt: h5 layer %d group: %w", i, err)
+		}
+		l, err := r.readLayerCommon()
+		if err != nil {
+			return nil, fmt.Errorf("modelfmt: h5 layer %d: %w", i, err)
+		}
+		present, err := r.u32()
+		if err != nil {
+			return nil, fmt.Errorf("modelfmt: h5 layer %d bitmap: %w", i, err)
+		}
+		ts := layerTensors(l)
+		for j := range ts {
+			ts[j] = nil
+			if present&(1<<uint(j)) == 0 {
+				continue
+			}
+			hdrStart := int(r.r.Size()) - r.r.Len()
+			for k := 0; k < 3; k++ { // name, dtype, layout
+				if _, err := r.str(); err != nil {
+					return nil, fmt.Errorf("modelfmt: h5 layer %d dataset header: %w", i, err)
+				}
+			}
+			hdrLen := int(r.r.Size()) - r.r.Len() - hdrStart
+			if hdrLen < h5HeaderPad {
+				if _, err := r.r.Seek(int64(h5HeaderPad-hdrLen), 1); err != nil {
+					return nil, fmt.Errorf("modelfmt: h5 layer %d padding: %w", i, err)
+				}
+			}
+			ts[j], err = r.tensorField()
+			if err != nil {
+				return nil, fmt.Errorf("modelfmt: h5 layer %d tensor %d: %w", i, j, err)
+			}
+		}
+		if err := setLayerTensors(l, ts); err != nil {
+			return nil, err
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m, nil
+}

@@ -1,0 +1,67 @@
+package modelfmt
+
+import (
+	"fmt"
+
+	"crayfish/internal/model"
+)
+
+// onnxMagic identifies the ONNX-analogue container.
+const onnxMagic = "CRFONNX1"
+
+// onnxCodec is the compact tag-length binary format analogous to ONNX
+// protobuf files: a flat node list with inline initialiser tensors and no
+// redundant metadata, which makes it the smallest format for small models.
+type onnxCodec struct{}
+
+func (onnxCodec) Format() Format { return ONNX }
+
+func (onnxCodec) Encode(m *model.Model) ([]byte, error) {
+	w := &binWriter{}
+	w.raw([]byte(onnxMagic))
+	w.u32(1) // ir_version
+	w.writeModelHeader(m)
+	for _, l := range m.Layers {
+		w.writeLayerCommon(l)
+		for _, t := range layerTensors(l) {
+			w.tensorField(t)
+		}
+	}
+	return w.bytes(), nil
+}
+
+func (onnxCodec) Decode(data []byte) (*model.Model, error) {
+	if !hasMagic(data, onnxMagic) {
+		return nil, fmt.Errorf("modelfmt: not an ONNX container")
+	}
+	r := newBinReader(data[len(onnxMagic):])
+	ver, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("modelfmt: onnx header: %w", err)
+	}
+	if ver != 1 {
+		return nil, fmt.Errorf("modelfmt: unsupported onnx ir_version %d", ver)
+	}
+	m, nLayers, err := r.readModelHeader()
+	if err != nil {
+		return nil, fmt.Errorf("modelfmt: onnx model header: %w", err)
+	}
+	for i := 0; i < nLayers; i++ {
+		l, err := r.readLayerCommon()
+		if err != nil {
+			return nil, fmt.Errorf("modelfmt: onnx layer %d: %w", i, err)
+		}
+		ts := layerTensors(l)
+		for j := range ts {
+			ts[j], err = r.tensorField()
+			if err != nil {
+				return nil, fmt.Errorf("modelfmt: onnx layer %d tensor %d: %w", i, j, err)
+			}
+		}
+		if err := setLayerTensors(l, ts); err != nil {
+			return nil, err
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m, nil
+}

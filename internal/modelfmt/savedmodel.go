@@ -1,0 +1,200 @@
+package modelfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"crayfish/internal/model"
+)
+
+// savedModelMagic identifies the SavedModel-analogue container.
+const savedModelMagic = "CRFSAVEDMODEL1"
+
+// savedModelCodec emulates TensorFlow's SavedModel bundle: a variables
+// section with the raw weights plus a MetaGraph — a verbose JSON graph
+// definition with per-node attribute dictionaries, signature definitions,
+// and a serialised function-library/op-registry section whose size is
+// independent of the model. Small models therefore pay a large fixed
+// metadata cost (Table 2: 508 KB SavedModel vs 113 KB ONNX for the FFNN),
+// while for large models the bundle converges to the weight size
+// (101 MB vs 97 MB for ResNet50).
+type savedModelCodec struct{}
+
+func (savedModelCodec) Format() Format { return SavedModel }
+
+// smNode is one node in the verbose graph definition.
+type smNode struct {
+	Name   string            `json:"name"`
+	Op     string            `json:"op"`
+	Inputs []string          `json:"inputs"`
+	Device string            `json:"device"`
+	Attrs  map[string]string `json:"attr"`
+}
+
+// smMetaGraph is the saved_model.pb analogue.
+type smMetaGraph struct {
+	Producer      string            `json:"producer"`
+	Tags          []string          `json:"tags"`
+	SignatureDefs map[string]string `json:"signature_defs"`
+	GraphDef      []smNode          `json:"graph_def"`
+	ObjectGraph   []smNode          `json:"object_graph"` // checkpoint view, duplicated as in TF
+}
+
+func buildMetaGraph(m *model.Model) smMetaGraph {
+	nodes := make([]smNode, 0, len(m.Layers)+2)
+	prev := "serving_default_input:0"
+	nodes = append(nodes, smNode{
+		Name: "input", Op: "Placeholder", Device: "/device:CPU:0",
+		Attrs: map[string]string{"dtype": "DT_FLOAT", "shape": fmt.Sprint(m.InputShape)},
+	})
+	for _, l := range m.Layers {
+		attrs := map[string]string{
+			"dtype":            "DT_FLOAT",
+			"data_format":      "NCHW",
+			"T":                "DT_FLOAT",
+			"transpose_a":      "false",
+			"transpose_b":      "false",
+			"_output_shapes":   "unknown",
+			"_xla_compile":     "false",
+			"container":        "",
+			"shared_name":      l.Name,
+			"validate_shape":   "true",
+			"use_cudnn_on_gpu": "true",
+		}
+		attrs["strides"] = fmt.Sprintf("[1,1,%d,%d]", l.Stride, l.Stride)
+		attrs["padding"] = fmt.Sprintf("EXPLICIT:%d", l.Pad)
+		attrs["ksize"] = fmt.Sprintf("[1,1,%d,%d]", l.PoolSize, l.PoolSize)
+		attrs["epsilon"] = fmt.Sprint(l.Eps)
+		nodes = append(nodes, smNode{
+			Name: "StatefulPartitionedCall/model/" + l.Name, Op: strings.ToUpper(string(l.Kind)),
+			Inputs: []string{prev}, Device: "/device:CPU:0", Attrs: attrs,
+		})
+		prev = "StatefulPartitionedCall/model/" + l.Name + ":0"
+	}
+	return smMetaGraph{
+		Producer: "crayfish-savedmodel/1.0",
+		Tags:     []string{"serve"},
+		SignatureDefs: map[string]string{
+			"serving_default":       "inputs: input:0 -> outputs: " + prev,
+			"__saved_model_init_op": "NoOp",
+		},
+		GraphDef:    nodes,
+		ObjectGraph: nodes, // TF duplicates the structural view in the object graph
+	}
+}
+
+// functionLibrary returns the fixed-size op-registry/function-library
+// section. Its contents are deterministic boilerplate describing the op
+// schema of every kernel, mirroring the model-independent metadata TF
+// bundles into every SavedModel.
+func functionLibrary() []byte {
+	var b strings.Builder
+	ops := []string{
+		"MatMul", "BiasAdd", "Relu", "Softmax", "Conv2D", "FusedBatchNormV3",
+		"MaxPool", "AvgPool", "Mean", "AddV2", "Identity", "Placeholder",
+		"Const", "NoOp", "StatefulPartitionedCall", "ReadVariableOp",
+		"VarHandleOp", "AssignVariableOp", "Reshape", "Pad", "Cast",
+		"Shape", "StridedSlice", "Pack", "ConcatV2", "Fill", "Range",
+		"Transpose", "Squeeze", "ExpandDims", "Sum", "Max", "Min",
+		"Mul", "Sub", "RealDiv", "Sqrt", "Rsqrt", "SquaredDifference",
+		"StopGradient", "PreventGradient",
+	}
+	for gen := 0; gen < 6; gen++ {
+		for _, op := range ops {
+			fmt.Fprintf(&b, "op{name:%q generation:%d summary:%q description:%q", op, gen,
+				"Computes the "+op+" of its operands element-wise or via the registered kernel.",
+				"This op participates in the serving function library; its gradient registration, shape function, and kernel priority list are retained verbatim in the SavedModel bundle so that the graph can be re-imported for further training or transformation.")
+			for a := 0; a < 8; a++ {
+				fmt.Fprintf(&b, " attr{name:\"attr_%d\" type:\"type\" allowed:[DT_FLOAT,DT_HALF,DT_BFLOAT16,DT_DOUBLE] default:DT_FLOAT has_minimum:false}", a)
+			}
+			b.WriteString(" kernel{device:\"CPU\" constraint:\"T in [DT_FLOAT]\" priority:1} kernel{device:\"GPU\" constraint:\"T in [DT_FLOAT,DT_HALF]\" priority:2}}\n")
+		}
+	}
+	return []byte(b.String())
+}
+
+func (savedModelCodec) Encode(m *model.Model) ([]byte, error) {
+	meta, err := json.Marshal(buildMetaGraph(m))
+	if err != nil {
+		return nil, err
+	}
+	lib := functionLibrary()
+	w := &binWriter{}
+	w.raw([]byte(savedModelMagic))
+	w.u32(1)
+	w.u32(uint32(len(meta)))
+	w.raw(meta)
+	w.u32(uint32(len(lib)))
+	w.raw(lib)
+	// variables/variables.data analogue: binary weights.
+	w.writeModelHeader(m)
+	for _, l := range m.Layers {
+		w.writeLayerCommon(l)
+		for _, t := range layerTensors(l) {
+			w.tensorField(t)
+		}
+	}
+	return w.bytes(), nil
+}
+
+func (savedModelCodec) Decode(data []byte) (*model.Model, error) {
+	if !hasMagic(data, savedModelMagic) {
+		return nil, fmt.Errorf("modelfmt: not a SavedModel bundle")
+	}
+	r := newBinReader(data[len(savedModelMagic):])
+	ver, err := r.u32()
+	if err != nil || ver != 1 {
+		return nil, fmt.Errorf("modelfmt: savedmodel header version: %v", err)
+	}
+	metaLen, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("modelfmt: savedmodel metagraph length: %w", err)
+	}
+	if int64(metaLen) > int64(r.r.Len()) {
+		return nil, fmt.Errorf("modelfmt: savedmodel metagraph length %d exceeds input", metaLen)
+	}
+	meta := make([]byte, metaLen)
+	if _, err := r.r.Read(meta); err != nil {
+		return nil, fmt.Errorf("modelfmt: savedmodel metagraph: %w", err)
+	}
+	var mg smMetaGraph
+	if err := json.Unmarshal(meta, &mg); err != nil {
+		return nil, fmt.Errorf("modelfmt: savedmodel metagraph JSON: %w", err)
+	}
+	if len(mg.Tags) == 0 || mg.Tags[0] != "serve" {
+		return nil, fmt.Errorf("modelfmt: savedmodel missing serve tag")
+	}
+	libLen, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("modelfmt: savedmodel library length: %w", err)
+	}
+	if int64(libLen) > int64(r.r.Len()) {
+		return nil, fmt.Errorf("modelfmt: savedmodel library length %d exceeds input", libLen)
+	}
+	if _, err := r.r.Seek(int64(libLen), 1); err != nil {
+		return nil, err
+	}
+	m, nLayers, err := r.readModelHeader()
+	if err != nil {
+		return nil, fmt.Errorf("modelfmt: savedmodel variables header: %w", err)
+	}
+	for i := 0; i < nLayers; i++ {
+		l, err := r.readLayerCommon()
+		if err != nil {
+			return nil, fmt.Errorf("modelfmt: savedmodel layer %d: %w", i, err)
+		}
+		ts := layerTensors(l)
+		for j := range ts {
+			ts[j], err = r.tensorField()
+			if err != nil {
+				return nil, fmt.Errorf("modelfmt: savedmodel layer %d tensor %d: %w", i, j, err)
+			}
+		}
+		if err := setLayerTensors(l, ts); err != nil {
+			return nil, err
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m, nil
+}

@@ -1,0 +1,198 @@
+// Package embedded implements the three interoperability libraries from
+// §3.4.2 as in-process serving runtimes:
+//
+//   - ONNX: loads the ONNX-analogue format and executes a fused,
+//     buffer-reusing plan — the fastest embedded path, as in Table 4.
+//   - SavedModel: loads the SavedModel-analogue bundle and executes the
+//     graph op-by-op with per-op allocation (unfused).
+//   - DL4J: loads the Keras-H5-analogue format and pays a real foreign-
+//     function-interface cost on every call: inputs and outputs round-trip
+//     through a byte-level marshalling boundary, like a JNI bridge.
+//
+// Every runtime produces outputs identical to model.Forward; they differ
+// only in how they execute, which is exactly the paper's premise.
+package embedded
+
+import (
+	"fmt"
+
+	"crayfish/internal/gpu"
+	"crayfish/internal/model"
+	"crayfish/internal/modelfmt"
+	"crayfish/internal/serving"
+)
+
+// Kind selects an embedded runtime implementation.
+type Kind string
+
+// The embedded serving tools from the paper.
+const (
+	ONNX       Kind = "onnx"
+	SavedModel Kind = "savedmodel"
+	DL4J       Kind = "dl4j"
+)
+
+// Kinds lists all embedded runtimes in a stable order.
+func Kinds() []Kind { return []Kind{ONNX, SavedModel, DL4J} }
+
+// Runtime is an embedded serving tool: Load brings a stored model into
+// operator memory, Score runs inference in-process.
+type Runtime struct {
+	kind   Kind
+	format modelfmt.Format
+	dev    gpu.Device
+
+	m    *model.Model
+	plan *fusedPlan // ONNX only
+}
+
+// New creates a runtime of the given kind executing on dev (nil = CPU).
+func New(kind Kind, dev gpu.Device) (*Runtime, error) {
+	if dev == nil {
+		dev = gpu.CPU()
+	}
+	var f modelfmt.Format
+	switch kind {
+	case ONNX:
+		f = modelfmt.ONNX
+	case SavedModel:
+		f = modelfmt.SavedModel
+	case DL4J:
+		f = modelfmt.H5
+	default:
+		return nil, fmt.Errorf("embedded: unknown runtime kind %q", kind)
+	}
+	return &Runtime{kind: kind, format: f, dev: dev}, nil
+}
+
+// Name implements serving.Scorer.
+func (r *Runtime) Name() string { return string(r.kind) }
+
+// Format returns the storage format this runtime loads.
+func (r *Runtime) Format() modelfmt.Format { return r.format }
+
+// Load decodes stored model bytes in the runtime's native format and
+// prepares execution (the ONNX runtime compiles its fused plan here).
+// It implements the load half of the CrayfishModel interface (§3.2).
+func (r *Runtime) Load(data []byte) error {
+	m, err := modelfmt.Decode(r.format, data)
+	if err != nil {
+		return fmt.Errorf("embedded %s: %w", r.kind, err)
+	}
+	return r.LoadModel(m)
+}
+
+// LoadModel installs an in-memory model directly, bypassing storage.
+func (r *Runtime) LoadModel(m *model.Model) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("embedded %s: %w", r.kind, err)
+	}
+	r.m = m
+	if r.kind == ONNX {
+		r.plan = compileFused(m)
+	}
+	return nil
+}
+
+// Model returns the loaded model, or nil before Load.
+func (r *Runtime) Model() *model.Model { return r.m }
+
+// InputLen implements serving.Scorer.
+func (r *Runtime) InputLen() int {
+	if r.m == nil {
+		return 0
+	}
+	return r.m.InputLen()
+}
+
+// OutputSize implements serving.Scorer.
+func (r *Runtime) OutputSize() int {
+	if r.m == nil {
+		return 0
+	}
+	return r.m.OutputSize
+}
+
+// Score implements serving.Scorer (the apply half of CrayfishModel).
+func (r *Runtime) Score(inputs []float32, n int) ([]float32, error) {
+	if r.m == nil {
+		return nil, fmt.Errorf("embedded %s: no model loaded", r.kind)
+	}
+	if err := serving.ValidateBatch(inputs, n, r.m.InputLen()); err != nil {
+		return nil, err
+	}
+	switch r.kind {
+	case ONNX:
+		return r.scoreONNX(inputs, n)
+	case SavedModel:
+		return r.scoreSavedModel(inputs, n)
+	case DL4J:
+		return r.scoreDL4J(inputs, n)
+	}
+	return nil, fmt.Errorf("embedded: unknown runtime kind %q", r.kind)
+}
+
+// hints translates the runtime's device into execution hints.
+func (r *Runtime) hints() model.ExecHints {
+	return model.ExecHints{Workers: r.dev.Workers(), FastConv: r.dev.FastKernels()}
+}
+
+// scoreONNX runs the fused plan with device-aware kernels and explicit
+// host↔device transfers.
+func (r *Runtime) scoreONNX(inputs []float32, n int) ([]float32, error) {
+	r.dev.Transfer(4 * len(inputs))
+	out, err := r.plan.apply(inputs, n, r.hints())
+	if err != nil {
+		return nil, fmt.Errorf("embedded onnx: %w", err)
+	}
+	r.dev.Transfer(4 * len(out))
+	return out, nil
+}
+
+// scoreSavedModel runs the graph op-by-op (unfused, per-op allocation).
+func (r *Runtime) scoreSavedModel(inputs []float32, n int) ([]float32, error) {
+	r.dev.Transfer(4 * len(inputs))
+	out, err := forwardUnfused(r.m, inputs, n, r.hints())
+	if err != nil {
+		return nil, fmt.Errorf("embedded savedmodel: %w", err)
+	}
+	r.dev.Transfer(4 * len(out))
+	return out, nil
+}
+
+// scoreDL4J crosses the FFI boundary in both directions around an unfused
+// forward pass.
+func (r *Runtime) scoreDL4J(inputs []float32, n int) ([]float32, error) {
+	native, err := ffiCrossRounds(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("embedded dl4j: input marshalling: %w", err)
+	}
+	r.dev.Transfer(4 * len(native))
+	out, err := forwardUnfused(r.m, native, n, r.hints())
+	if err != nil {
+		return nil, fmt.Errorf("embedded dl4j: %w", err)
+	}
+	r.dev.Transfer(4 * len(out))
+	host, err := ffiCross(out)
+	if err != nil {
+		return nil, fmt.Errorf("embedded dl4j: output marshalling: %w", err)
+	}
+	return host, nil
+}
+
+// forwardUnfused is the shared unfused execution path: build the batch
+// tensor, run the reference forward pass with the device's hints, and
+// copy out the probabilities.
+func forwardUnfused(m *model.Model, inputs []float32, n int, hints model.ExecHints) ([]float32, error) {
+	// The reference executor mutates activations in place, so hand it a
+	// private copy of the inputs.
+	in, err := m.BatchInput(append([]float32(nil), inputs...), n)
+	if err != nil {
+		return nil, err
+	}
+	t, err := m.ForwardWith(in, hints)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float32(nil), t.Data()...), nil
+}

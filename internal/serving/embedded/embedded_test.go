@@ -1,0 +1,332 @@
+package embedded
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"crayfish/internal/gpu"
+	"crayfish/internal/model"
+	"crayfish/internal/modelfmt"
+)
+
+// loadRuntime builds a runtime of the given kind with the FFNN loaded
+// through its native storage format.
+func loadRuntime(t *testing.T, kind Kind, m *model.Model) *Runtime {
+	t.Helper()
+	r, err := New(kind, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := modelfmt.Encode(r.Format(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func randBatch(m *model.Model, n int, seed int64) []float32 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float32, n*m.InputLen())
+	for i := range out {
+		out[i] = r.Float32()
+	}
+	return out
+}
+
+func TestAllRuntimesMatchReferenceForward(t *testing.T) {
+	m := model.NewFFNN(1)
+	inputs := randBatch(m, 4, 7)
+	in, err := m.BatchInput(append([]float32(nil), inputs...), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range Kinds() {
+		r := loadRuntime(t, kind, m)
+		got, err := r.Score(inputs, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(got) != 4*10 {
+			t.Fatalf("%s: output length %d", kind, len(got))
+		}
+		for i, v := range got {
+			d := float64(v) - float64(ref.Data()[i])
+			if d > 1e-4 || d < -1e-4 {
+				t.Fatalf("%s: output %d differs: %v vs %v", kind, i, v, ref.Data()[i])
+			}
+		}
+	}
+}
+
+func TestRuntimesMatchOnConvModel(t *testing.T) {
+	cfg := model.BenchResNetConfig(2)
+	cfg.InputSize = 32
+	cfg.Blocks = [4]int{1, 1, 1, 1}
+	m := model.NewResNet(cfg)
+	inputs := randBatch(m, 1, 3)
+	var ref []float32
+	for _, kind := range Kinds() {
+		r := loadRuntime(t, kind, m)
+		got, err := r.Score(inputs, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			d := float64(got[i]) - float64(ref[i])
+			if d > 1e-4 || d < -1e-4 {
+				t.Fatalf("%s: output %d differs across runtimes", kind, i)
+			}
+		}
+	}
+}
+
+func TestFusedPlanCompilation(t *testing.T) {
+	dense := compileFused(model.NewFFNN(1))
+	if !dense.Fused() {
+		t.Fatal("FFNN did not fuse")
+	}
+	// 4 dense layers, each absorbing its activation.
+	if len(dense.steps) != 4 {
+		t.Fatalf("fused steps = %d, want 4", len(dense.steps))
+	}
+	if !dense.steps[0].fuseReLU || dense.steps[0].softmax {
+		t.Fatal("first step should fuse ReLU")
+	}
+	if !dense.steps[3].softmax {
+		t.Fatal("last step should absorb softmax")
+	}
+	if !strings.Contains(dense.describe(), "fused") {
+		t.Fatalf("describe = %q", dense.describe())
+	}
+
+	cfg := model.BenchResNetConfig(1)
+	cfg.InputSize = 32
+	cfg.Blocks = [4]int{1, 1, 1, 1}
+	conv := compileFused(model.NewResNet(cfg))
+	if conv.Fused() {
+		t.Fatal("conv model fused onto the dense path")
+	}
+	if !strings.Contains(conv.describe(), "generic") {
+		t.Fatalf("describe = %q", conv.describe())
+	}
+}
+
+func TestScratchReuseAcrossBatchSizes(t *testing.T) {
+	m := model.NewFFNN(1)
+	r := loadRuntime(t, ONNX, m)
+	for _, n := range []int{1, 8, 1, 32, 8} {
+		out, err := r.Score(randBatch(m, n, int64(n)), n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(out) != n*10 {
+			t.Fatalf("n=%d: output %d", n, len(out))
+		}
+	}
+}
+
+func TestConcurrentScoreIsSafe(t *testing.T) {
+	m := model.NewFFNN(1)
+	for _, kind := range Kinds() {
+		r := loadRuntime(t, kind, m)
+		inputs := randBatch(m, 2, 11)
+		want, err := r.Score(inputs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					got, err := r.Score(inputs, 2)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range got {
+						if got[j] != want[j] {
+							errs <- err
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("%s: concurrent score: %v", kind, err)
+		}
+	}
+}
+
+func TestScoreValidation(t *testing.T) {
+	m := model.NewFFNN(1)
+	r := loadRuntime(t, ONNX, m)
+	if _, err := r.Score(make([]float32, 10), 1); err == nil {
+		t.Fatal("short batch accepted")
+	}
+	if _, err := r.Score(nil, 0); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	fresh, err := New(SavedModel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Score(make([]float32, 784), 1); err == nil {
+		t.Fatal("score before load accepted")
+	}
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New("tensorrt", nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestLoadRejectsWrongFormat(t *testing.T) {
+	m := model.NewFFNN(1)
+	onnxBytes, err := modelfmt.Encode(modelfmt.ONNX, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(DL4J, nil) // wants H5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Load(onnxBytes); err == nil {
+		t.Fatal("DL4J loaded ONNX bytes")
+	}
+}
+
+func TestRuntimeMetadata(t *testing.T) {
+	m := model.NewFFNN(1)
+	r := loadRuntime(t, ONNX, m)
+	if r.Name() != "onnx" || r.InputLen() != 784 || r.OutputSize() != 10 {
+		t.Fatalf("metadata: %s/%d/%d", r.Name(), r.InputLen(), r.OutputSize())
+	}
+	if r.Model() == nil {
+		t.Fatal("Model() nil after load")
+	}
+	empty, err := New(ONNX, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.InputLen() != 0 || empty.OutputSize() != 0 {
+		t.Fatal("unloaded runtime reports sizes")
+	}
+}
+
+func TestGPUDeviceProducesSameOutputs(t *testing.T) {
+	m := model.NewFFNN(1)
+	cpuRT := loadRuntime(t, ONNX, m)
+	gpuRT, err := New(ONNX, gpu.NewGPU(gpu.Config{Workers: 4, BandwidthBytesPerSec: 1e12, LaunchLatency: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gpuRT.LoadModel(m); err != nil {
+		t.Fatal(err)
+	}
+	inputs := randBatch(m, 8, 5)
+	a, err := cpuRT.Score(inputs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gpuRT.Score(inputs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		if d > 1e-4 || d < -1e-4 {
+			t.Fatalf("gpu output %d differs", i)
+		}
+	}
+}
+
+func TestFFICrossPreservesValues(t *testing.T) {
+	vals := []float32{0, -1.5, 3.25, 1e-20, 1e20}
+	out, err := ffiCross(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("ffi value %d: %v != %v", i, out[i], vals[i])
+		}
+	}
+}
+
+func TestRelativeSpeedONNXFastest(t *testing.T) {
+	// Table 4 shape within embedded tools: ONNX >= SavedModel > DL4J in
+	// throughput, i.e. ONNX cheapest per call, DL4J most expensive.
+	if testing.Short() || raceEnabled {
+		t.Skip("timing-sensitive")
+	}
+	m := model.NewFFNN(1)
+	inputs := randBatch(m, 1, 1)
+	cost := map[Kind]int64{}
+	for _, kind := range Kinds() {
+		r := loadRuntime(t, kind, m)
+		// Warm up, then measure.
+		for i := 0; i < 50; i++ {
+			if _, err := r.Score(inputs, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		iters := 2000
+		start := nowNanos()
+		for i := 0; i < iters; i++ {
+			if _, err := r.Score(inputs, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cost[kind] = (nowNanos() - start) / int64(iters)
+	}
+	// ONNX's fused plan saves allocations and activation passes; with
+	// the GEMM dominating, the margin is small, so allow 10% noise.
+	if float64(cost[ONNX]) > 1.1*float64(cost[SavedModel]) {
+		t.Errorf("ONNX (%dns) slower than SavedModel (%dns)", cost[ONNX], cost[SavedModel])
+	}
+	// DL4J's FFI rounds are a large, stable deficit.
+	if float64(cost[DL4J]) < 2*float64(cost[SavedModel]) {
+		t.Errorf("DL4J (%dns) not paying its FFI cost vs SavedModel (%dns)", cost[DL4J], cost[SavedModel])
+	}
+}
+
+func BenchmarkScoreFFNN(b *testing.B) {
+	m := model.NewFFNN(1)
+	inputs := make([]float32, 784)
+	for _, kind := range Kinds() {
+		r, err := New(kind, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.LoadModel(m); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Score(inputs, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

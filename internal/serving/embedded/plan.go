@@ -1,0 +1,180 @@
+package embedded
+
+import (
+	"fmt"
+	"sync"
+
+	"crayfish/internal/model"
+	"crayfish/internal/tensor"
+)
+
+// Engine executes a model graph. With fusion enabled and a pure
+// dense/ReLU/softmax graph (the FFNN family) it fuses MatMul + bias + ReLU
+// into one pass per layer and reuses scratch activations from a pool,
+// eliminating per-op allocation — the graph-level optimisation that makes
+// ONNX Runtime (and TensorFlow Serving's optimised kernels) fast in the
+// paper. Other graphs fall back to the generic executor.
+//
+// An Engine is safe for concurrent use.
+type Engine struct {
+	m     *model.Model
+	steps []denseStep // non-nil only when the graph fused
+	pool  sync.Pool   // *scratch
+}
+
+// fusedPlan is the ONNX runtime's name for its compiled Engine.
+type fusedPlan = Engine
+
+// denseStep is one fused dense layer: y = relu?(x·W + b).
+type denseStep struct {
+	w        *tensor.Tensor
+	b        *tensor.Tensor
+	fuseReLU bool
+	softmax  bool
+	out      int
+}
+
+// scratch is a reusable set of per-layer activation buffers for one batch
+// size.
+type scratch struct {
+	n    int
+	bufs []*tensor.Tensor
+}
+
+// NewEngine compiles an execution engine for m. With fuse=false the engine
+// always uses the generic unfused executor (the SavedModel runtime's
+// behaviour).
+func NewEngine(m *model.Model, fuse bool) *Engine {
+	if !fuse {
+		return &Engine{m: m}
+	}
+	return compileFused(m)
+}
+
+// compileFused analyses the model graph and builds the fused plan.
+func compileFused(m *model.Model) *Engine {
+	p := &Engine{m: m}
+	var steps []denseStep
+	i := 0
+	for i < len(m.Layers) {
+		l := m.Layers[i]
+		switch l.Kind {
+		case model.KindDense:
+			step := denseStep{w: l.W, b: l.B, out: l.W.Dim(1)}
+			// Peek: fuse a following ReLU or Softmax into the step.
+			if i+1 < len(m.Layers) {
+				switch m.Layers[i+1].Kind {
+				case model.KindReLU:
+					step.fuseReLU = true
+					i++
+				case model.KindSoftmax:
+					step.softmax = true
+					i++
+				}
+			}
+			steps = append(steps, step)
+			i++
+		case model.KindFlatten:
+			i++ // row-major batches are already flat
+		default:
+			// Not a pure dense chain; no fusion.
+			return p
+		}
+	}
+	p.steps = steps
+	return p
+}
+
+// Fused reports whether the engine compiled to the fused dense path.
+func (p *Engine) Fused() bool { return len(p.steps) > 0 }
+
+// Model returns the model the engine executes.
+func (p *Engine) Model() *model.Model { return p.m }
+
+// Run scores a batch with the given execution hints.
+func (p *Engine) Run(inputs []float32, n int, hints model.ExecHints) ([]float32, error) {
+	return p.apply(inputs, n, hints)
+}
+
+func (p *Engine) apply(inputs []float32, n int, hints model.ExecHints) ([]float32, error) {
+	if !p.Fused() {
+		return forwardUnfused(p.m, inputs, n, hints)
+	}
+	workers := hints.Workers
+	sc := p.takeScratch(n)
+	defer p.pool.Put(sc)
+	x, err := tensor.FromSlice(inputs, n, len(inputs)/n)
+	if err != nil {
+		return nil, err
+	}
+	for si := range p.steps {
+		step := &p.steps[si]
+		y := sc.bufs[si]
+		if workers > 1 {
+			yp, err := tensor.MatMulParallel(x, step.w, workers)
+			if err != nil {
+				return nil, err
+			}
+			copy(y.Data(), yp.Data())
+		} else {
+			tensor.MatMulInto(y, x, step.w)
+		}
+		bias := step.b.Data()
+		yd := y.Data()
+		if step.fuseReLU {
+			for r := 0; r < n; r++ {
+				row := yd[r*step.out : (r+1)*step.out]
+				for j := range row {
+					v := row[j] + bias[j]
+					if v < 0 {
+						v = 0
+					}
+					row[j] = v
+				}
+			}
+		} else {
+			for r := 0; r < n; r++ {
+				row := yd[r*step.out : (r+1)*step.out]
+				for j := range row {
+					row[j] += bias[j]
+				}
+			}
+		}
+		if step.softmax {
+			if _, err := tensor.Softmax(y); err != nil {
+				return nil, err
+			}
+		}
+		x = y
+	}
+	return append([]float32(nil), x.Data()...), nil
+}
+
+// takeScratch fetches (or builds) activation buffers for batch size n.
+func (p *Engine) takeScratch(n int) *scratch {
+	if v := p.pool.Get(); v != nil {
+		sc := v.(*scratch)
+		if sc.n == n {
+			return sc
+		}
+	}
+	sc := &scratch{n: n, bufs: make([]*tensor.Tensor, len(p.steps))}
+	for i, step := range p.steps {
+		sc.bufs[i] = tensor.New(n, step.out)
+	}
+	return sc
+}
+
+// describe summarises the engine for diagnostics.
+func (p *Engine) describe() string {
+	if p.Fused() {
+		return fmt.Sprintf("fused dense plan (%d steps)", len(p.steps))
+	}
+	return "generic graph executor"
+}
+
+// ForwardUnfused is the exported unfused execution path used by runtimes
+// that deliberately skip graph optimisation (TorchServe's handler path).
+func ForwardUnfused(m *model.Model, inputs []float32, n int, hints model.ExecHints) ([]float32, error) {
+	return forwardUnfused(m, inputs, n, hints)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package embedded
+
+// raceEnabled reports whether the race detector is active; timing-shape
+// assertions are skipped under -race because instrumentation overhead
+// distorts relative costs.
+const raceEnabled = true

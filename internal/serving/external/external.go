@@ -1,0 +1,164 @@
+// Package external implements the three specialized serving frameworks
+// from §3.4.3 and §3.4.4 as real network daemons plus matching clients:
+//
+//   - TF-Serving: gRPC-style binary RPC, a bounded inference thread pool
+//     (scaled via max-threads like the paper), and optimised (fused)
+//     kernel execution — the fast external option.
+//   - TorchServe: the same RPC substrate, but scaling via worker
+//     processes, each pushing every request through a Python-handler
+//     analogue that re-encodes tensors dynamically (JSON) on both sides
+//     of an unfused forward pass.
+//   - Ray Serve: HTTP + JSON with a single proxy per node dispatching to
+//     replica workers — the proxy both decodes and encodes payloads, so
+//     it serialises exactly the way the paper's single-HTTP-proxy design
+//     does.
+//
+// All servers expose a metadata endpoint so clients can discover the
+// model's input and output sizes at dial time.
+package external
+
+import (
+	"fmt"
+
+	"crayfish/internal/gpu"
+	"crayfish/internal/model"
+	"crayfish/internal/modelfmt"
+	"crayfish/internal/netsim"
+	"crayfish/internal/serving"
+)
+
+// Kind selects an external serving framework.
+type Kind string
+
+// The external serving tools from the paper.
+const (
+	TFServing  Kind = "tf-serving"
+	TorchServe Kind = "torchserve"
+	RayServe   Kind = "ray-serve"
+)
+
+// Kinds lists all external serving frameworks in a stable order.
+func Kinds() []Kind { return []Kind{TFServing, TorchServe, RayServe} }
+
+// Format returns the storage format a framework serves natively.
+func Format(k Kind) (modelfmt.Format, error) {
+	switch k {
+	case TFServing:
+		return modelfmt.SavedModel, nil
+	case TorchServe:
+		return modelfmt.Torch, nil
+	case RayServe:
+		// Ray is Python-based and needs no interoperability format;
+		// it deploys Torch checkpoints in the paper's setup.
+		return modelfmt.Torch, nil
+	default:
+		return "", fmt.Errorf("external: unknown framework %q", k)
+	}
+}
+
+// Config configures a serving daemon.
+type Config struct {
+	// Kind selects the framework.
+	Kind Kind
+	// ModelBytes holds the model in the framework's native format.
+	// Alternatively set Model to skip storage.
+	ModelBytes []byte
+	Model      *model.Model
+	// Workers is the paper's mp knob: max inference threads
+	// (TF-Serving), worker processes (TorchServe), or replicas
+	// (Ray Serve). 0 means 1.
+	Workers int
+	// Device is the inference device; nil means CPU.
+	Device gpu.Device
+	// Addr is the listen address; empty means 127.0.0.1:0.
+	Addr string
+	// Network injects a modelled LAN hop per request and response,
+	// imitating the paper's separate serving VM (§4.2). The zero
+	// profile keeps calls at loopback speed.
+	Network netsim.Profile
+	// AutoscaleMax enables Ray Serve's replica autoscaler: the proxy
+	// grows the replica pool toward this cap while requests queue and
+	// shrinks it back to Workers when the queue drains. Zero disables
+	// autoscaling (the paper's experiments scale replicas manually).
+	AutoscaleMax int
+}
+
+// Server is a running serving daemon.
+type Server interface {
+	// Kind identifies the framework.
+	Kind() Kind
+	// Addr is the bound listen address.
+	Addr() string
+	// SetWorkers rescales the inference pool without redeploying —
+	// the decoupled-scalability property §7.1 highlights.
+	SetWorkers(n int) error
+	// Close stops the daemon.
+	Close() error
+}
+
+// Start launches a serving daemon.
+func Start(cfg Config) (Server, error) {
+	m := cfg.Model
+	if m == nil {
+		f, err := Format(cfg.Kind)
+		if err != nil {
+			return nil, err
+		}
+		m, err = modelfmt.Decode(f, cfg.ModelBytes)
+		if err != nil {
+			return nil, fmt.Errorf("external %s: %w", cfg.Kind, err)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("external %s: %w", cfg.Kind, err)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Device == nil {
+		cfg.Device = gpu.CPU()
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	switch cfg.Kind {
+	case TFServing:
+		return startTFServing(cfg, m)
+	case TorchServe:
+		return startTorchServe(cfg, m)
+	case RayServe:
+		return startRayServe(cfg, m)
+	default:
+		return nil, fmt.Errorf("external: unknown framework %q", cfg.Kind)
+	}
+}
+
+// DialClient connects a Scorer client to a running daemon of the given
+// kind, discovering the model's shape from the metadata endpoint.
+func DialClient(kind Kind, addr string) (ScorerClient, error) {
+	switch kind {
+	case TFServing:
+		return dialTFServing(addr)
+	case TorchServe:
+		return dialTorchServe(addr)
+	case RayServe:
+		return dialRayServe(addr)
+	default:
+		return nil, fmt.Errorf("external: unknown framework %q", kind)
+	}
+}
+
+// ScorerClient is a network-backed Scorer that must be closed.
+type ScorerClient interface {
+	serving.Scorer
+	serving.Closer
+}
+
+// metadata is the shape-discovery payload every framework serves.
+type metadata struct {
+	ModelName  string `json:"model_name"`
+	InputLen   int    `json:"input_len"`
+	OutputSize int    `json:"output_size"`
+	Framework  string `json:"framework"`
+	Workers    int    `json:"workers"`
+}

@@ -1,0 +1,204 @@
+package external
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"crayfish/internal/model"
+	"crayfish/internal/modelfmt"
+	"crayfish/internal/serving"
+	"crayfish/internal/serving/embedded"
+)
+
+// The model-lifecycle surface the paper highlights as external serving's
+// advantage (§2.1, §7): versioned deployment and pool scaling without
+// touching the stream processor.
+
+// Management RPC method names.
+const (
+	tfReloadMethod         = "tensorflow.serving.ModelService/HandleReloadConfigRequest"
+	tfPredictVersionMethod = "tensorflow.serving.PredictionService/PredictVersion"
+	torchScaleMethod       = "org.pytorch.serve.grpc.management/ScaleWorker"
+)
+
+// Versioner is the client-side model-versioning surface (TF-Serving).
+type Versioner interface {
+	// LoadVersion deploys stored model bytes (SavedModel format) as the
+	// given version; the highest version becomes the default.
+	LoadVersion(version int, modelBytes []byte) error
+	// ScoreVersion scores against an explicit model version.
+	ScoreVersion(version int, inputs []float32, n int) ([]float32, error)
+	// Versions lists the deployed versions.
+	Versions() ([]int, error)
+}
+
+// WorkerScaler is the client-side pool-scaling surface (TorchServe's
+// management API).
+type WorkerScaler interface {
+	// ScaleWorkers resizes the server's inference pool remotely.
+	ScaleWorkers(n int) error
+}
+
+// ---- TF-Serving server side ----
+
+// tfVersion is one deployed model version.
+type tfVersion struct {
+	m      *model.Model
+	engine *embedded.Engine
+}
+
+// initVersions installs version 1 from the boot model.
+func (s *tfServer) initVersions(m *model.Model, engine *embedded.Engine) {
+	s.versions = map[int]*tfVersion{1: {m: m, engine: engine}}
+	s.latest = 1
+}
+
+// loadVersion deploys a model as a version.
+func (s *tfServer) loadVersion(version int, m *model.Model) error {
+	if version <= 0 {
+		return fmt.Errorf("tf-serving: version must be positive, got %d", version)
+	}
+	if m.InputLen() != s.m.InputLen() || m.OutputSize != s.m.OutputSize {
+		return fmt.Errorf("tf-serving: version %d shape %d→%d differs from served %d→%d",
+			version, m.InputLen(), m.OutputSize, s.m.InputLen(), s.m.OutputSize)
+	}
+	served := m
+	if s.cfg.Device.FastKernels() {
+		served = model.FoldBatchNorm(m)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.versions[version] = &tfVersion{m: m, engine: embedded.NewEngine(served, true)}
+	if version > s.latest {
+		s.latest = version
+	}
+	return nil
+}
+
+// version resolves a deployed version; 0 means latest.
+func (s *tfServer) version(v int) (*tfVersion, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v == 0 {
+		v = s.latest
+	}
+	tv, ok := s.versions[v]
+	if !ok {
+		return nil, fmt.Errorf("tf-serving: version %d not deployed", v)
+	}
+	return tv, nil
+}
+
+// handleReload is the ReloadConfig RPC: u32 version + SavedModel bytes.
+// An empty request deploys nothing and answers with the version list.
+func (s *tfServer) handleReload(req []byte) ([]byte, error) {
+	if len(req) > 0 {
+		if len(req) < 5 {
+			return nil, fmt.Errorf("tf-serving: malformed reload request")
+		}
+		version := int(binary.LittleEndian.Uint32(req))
+		m, err := modelfmt.Decode(modelfmt.SavedModel, req[4:])
+		if err != nil {
+			return nil, fmt.Errorf("tf-serving: reload: %w", err)
+		}
+		if err := s.loadVersion(version, m); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	versions := make([]int, 0, len(s.versions))
+	for v := range s.versions {
+		versions = append(versions, v)
+	}
+	s.mu.Unlock()
+	sort.Ints(versions)
+	return json.Marshal(versions)
+}
+
+// handlePredictVersion scores against an explicit version: u32 version +
+// batch payload.
+func (s *tfServer) handlePredictVersion(req []byte) ([]byte, error) {
+	if len(req) < 4 {
+		return nil, fmt.Errorf("tf-serving: malformed versioned predict")
+	}
+	version := int(binary.LittleEndian.Uint32(req))
+	tv, err := s.version(version)
+	if err != nil {
+		return nil, err
+	}
+	return s.predictWith(tv, req[4:])
+}
+
+// ---- TF-Serving client side ----
+
+// LoadVersion implements Versioner.
+func (c *tfClient) LoadVersion(version int, modelBytes []byte) error {
+	req := make([]byte, 4+len(modelBytes))
+	binary.LittleEndian.PutUint32(req, uint32(version))
+	copy(req[4:], modelBytes)
+	_, err := c.c.Call(tfReloadMethod, req)
+	return err
+}
+
+// ScoreVersion implements Versioner.
+func (c *tfClient) ScoreVersion(version int, inputs []float32, n int) ([]float32, error) {
+	if err := serving.ValidateBatch(inputs, n, c.meta.InputLen); err != nil {
+		return nil, err
+	}
+	batch := serving.EncodeBatch(inputs, n)
+	req := make([]byte, 4+len(batch))
+	binary.LittleEndian.PutUint32(req, uint32(version))
+	copy(req[4:], batch)
+	resp, err := c.c.Call(tfPredictVersionMethod, req)
+	if err != nil {
+		return nil, err
+	}
+	out, m, err := serving.DecodeBatch(resp)
+	if err != nil {
+		return nil, err
+	}
+	if m != n {
+		return nil, fmt.Errorf("tf-serving: response batch %d != request %d", m, n)
+	}
+	return out, nil
+}
+
+// Versions implements Versioner by deploying nothing: it calls the reload
+// endpoint with a zero-length config, which the server answers with the
+// current version list.
+func (c *tfClient) Versions() ([]int, error) {
+	resp, err := c.c.Call(tfReloadMethod, nil)
+	if err != nil {
+		return nil, err
+	}
+	var versions []int
+	if err := json.Unmarshal(resp, &versions); err != nil {
+		return nil, fmt.Errorf("tf-serving: versions: %w", err)
+	}
+	return versions, nil
+}
+
+// ---- TorchServe management ----
+
+// handleScale is TorchServe's ScaleWorker management RPC: u32 worker
+// count.
+func (s *torchServer) handleScale(req []byte) ([]byte, error) {
+	if len(req) != 4 {
+		return nil, fmt.Errorf("torchserve: malformed scale request")
+	}
+	n := int(binary.LittleEndian.Uint32(req))
+	if err := s.SetWorkers(n); err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf(`{"status":"workers scaled to %d"}`, n)), nil
+}
+
+// ScaleWorkers implements WorkerScaler.
+func (c *torchClient) ScaleWorkers(n int) error {
+	req := make([]byte, 4)
+	binary.LittleEndian.PutUint32(req, uint32(n))
+	_, err := c.c.Call(torchScaleMethod, req)
+	return err
+}

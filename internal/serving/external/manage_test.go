@@ -1,0 +1,231 @@
+package external
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"crayfish/internal/model"
+	"crayfish/internal/modelfmt"
+)
+
+func TestTFServingModelVersioning(t *testing.T) {
+	v1 := model.NewFFNN(1)
+	_, c := startFramework(t, TFServing, v1, 1)
+	versioner, ok := c.(Versioner)
+	if !ok {
+		t.Fatal("tf-serving client does not expose versioning")
+	}
+	versions, err := versioner.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 1 || versions[0] != 1 {
+		t.Fatalf("boot versions %v", versions)
+	}
+
+	inputs := ffnnBatch(v1, 1, 3)
+	v1Out, err := c.Score(inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deploy version 2: same shape, different weights.
+	v2 := model.NewFFNN(99)
+	v2Bytes, err := modelfmt.Encode(modelfmt.SavedModel, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := versioner.LoadVersion(2, v2Bytes); err != nil {
+		t.Fatal(err)
+	}
+	versions, err = versioner.Versions()
+	if err != nil || len(versions) != 2 {
+		t.Fatalf("versions after deploy: %v, %v", versions, err)
+	}
+
+	// The default predict now serves v2; v1 stays addressable.
+	v2Out, err := c.Score(inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range v1Out {
+		if v1Out[i] != v2Out[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("default predict did not switch to version 2")
+	}
+	pinned, err := versioner.ScoreVersion(1, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pinned {
+		if pinned[i] != v1Out[i] {
+			t.Fatal("pinned version 1 scores differently than before the deploy")
+		}
+	}
+	if _, err := versioner.ScoreVersion(7, inputs, 1); err == nil {
+		t.Fatal("undeployed version accepted")
+	}
+}
+
+func TestTFServingVersioningValidation(t *testing.T) {
+	m := model.NewFFNN(1)
+	_, c := startFramework(t, TFServing, m, 1)
+	versioner := c.(Versioner)
+	// Wrong-shape model rejected.
+	other := model.NewFFNNSized(1, 16, []int{4}, 2)
+	bytes, err := modelfmt.Encode(modelfmt.SavedModel, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := versioner.LoadVersion(2, bytes); err == nil {
+		t.Fatal("shape-mismatched version accepted")
+	}
+	// Garbage bytes rejected.
+	if err := versioner.LoadVersion(2, []byte("junk-model")); err == nil {
+		t.Fatal("junk version accepted")
+	}
+	// Version 0 rejected server-side.
+	good, err := modelfmt.Encode(modelfmt.SavedModel, model.NewFFNN(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := versioner.LoadVersion(0, good); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+}
+
+func TestTorchServeRemoteScaling(t *testing.T) {
+	m := model.NewFFNN(1)
+	srv, c := startFramework(t, TorchServe, m, 1)
+	scaler, ok := c.(WorkerScaler)
+	if !ok {
+		t.Fatal("torchserve client does not expose worker scaling")
+	}
+	if err := scaler.ScaleWorkers(4); err != nil {
+		t.Fatal(err)
+	}
+	// Metadata reflects the new pool size.
+	raw, err := dialTorchServe(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if got := raw.(*torchClient).meta.Workers; got != 4 {
+		t.Fatalf("metadata workers = %d after remote scale", got)
+	}
+	// Serving continues.
+	if _, err := c.Score(ffnnBatch(m, 1, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := scaler.ScaleWorkers(0); err == nil {
+		t.Fatal("zero workers accepted over the wire")
+	}
+}
+
+func TestVersionListIsJSON(t *testing.T) {
+	// The reload endpoint's version list must be plain JSON so other
+	// tooling can consume it.
+	m := model.NewFFNN(1)
+	srv, _ := startFramework(t, TFServing, m, 1)
+	resp, err := srv.(*tfServer).handleReload(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var versions []int
+	if err := json.Unmarshal(resp, &versions); err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 1 {
+		t.Fatalf("versions %v", versions)
+	}
+}
+
+func TestRayServeRemoteScaling(t *testing.T) {
+	m := model.NewFFNN(1)
+	srv, c := startFramework(t, RayServe, m, 1)
+	scaler, ok := c.(WorkerScaler)
+	if !ok {
+		t.Fatal("ray-serve client does not expose worker scaling")
+	}
+	if err := scaler.ScaleWorkers(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.(*rayServer).Replicas(); got != 3 {
+		t.Fatalf("replicas = %d after remote scale", got)
+	}
+	if err := scaler.ScaleWorkers(0); err == nil {
+		t.Fatal("zero replicas accepted over the wire")
+	}
+	if _, err := c.Score(ffnnBatch(m, 1, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRayServeAutoscaler(t *testing.T) {
+	// Under queued load the autoscaler grows the pool toward the cap;
+	// when the queue drains it shrinks back to the floor.
+	m := model.NewFFNN(1)
+	stored, err := modelfmt.Encode(modelfmt.Torch, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Start(Config{Kind: RayServe, ModelBytes: stored, Workers: 1, AutoscaleMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialClient(RayServe, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	inputs := ffnnBatch(m, 4, 2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Score(inputs, 4)
+				}
+			}
+		}()
+	}
+	peak := 0
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if n := srv.(*rayServer).Replicas(); n > peak {
+			peak = n
+		}
+		if peak >= 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if peak < 2 {
+		t.Fatalf("autoscaler never grew past %d replicas", peak)
+	}
+	// Idle: the pool shrinks back toward the floor.
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.(*rayServer).Replicas() == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("autoscaler did not shrink back (replicas=%d)", srv.(*rayServer).Replicas())
+}

@@ -1,0 +1,362 @@
+package external
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"crayfish/internal/model"
+	"crayfish/internal/serving"
+	"crayfish/internal/serving/embedded"
+)
+
+// rayServer is the Ray Serve analogue: an HTTP ingress with a single
+// proxy per node in front of a pool of replica workers (§3.4.4,
+// Figure 4). The proxy is deliberately a single goroutine that performs
+// request decoding, replica dispatch, and response encoding serially —
+// the design choice the paper identifies as Ray Serve's vertical-
+// scalability bottleneck. Replicas run the model directly: Ray is
+// Python-based, so no interoperability marshalling applies.
+type rayServer struct {
+	cfg  Config
+	m    *model.Model
+	http *http.Server
+	ln   net.Listener
+
+	proxyCh chan *rayJob
+
+	mu       sync.Mutex
+	replicas []chan struct{} // per-replica stop channels
+	workCh   chan *rayJob
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type rayJob struct {
+	inputs []float32
+	n      int
+	done   chan rayResult
+}
+
+type rayResult struct {
+	out []float32
+	err error
+}
+
+// rayRequest and rayResponse are the HTTP JSON bodies.
+type rayRequest struct {
+	Inputs []float32 `json:"inputs"`
+	N      int       `json:"n"`
+}
+
+type rayResponse struct {
+	Predictions []float32 `json:"predictions"`
+	Error       string    `json:"error,omitempty"`
+}
+
+func startRayServe(cfg Config, m *model.Model) (Server, error) {
+	s := &rayServer{
+		cfg:     cfg,
+		m:       m,
+		proxyCh: make(chan *rayJob, 1024),
+		workCh:  make(chan *rayJob, 1024),
+	}
+	if err := s.SetWorkers(cfg.Workers); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("ray-serve: %w", err)
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/-/routes", s.handleMetadata)
+	mux.HandleFunc("/-/scale", s.handleScale)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		s.http.Serve(ln)
+	}()
+	go s.proxyLoop()
+	if cfg.AutoscaleMax > cfg.Workers {
+		s.wg.Add(1)
+		go s.autoscaler()
+	}
+	return s, nil
+}
+
+// handleScale is the management endpoint: POST /-/scale?replicas=N
+// resizes the replica pool remotely.
+func (s *rayServer) handleScale(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	n, err := strconv.Atoi(r.URL.Query().Get("replicas"))
+	if err != nil {
+		writeRayError(w, http.StatusBadRequest, "ray-serve: bad replicas parameter")
+		return
+	}
+	if err := s.SetWorkers(n); err != nil {
+		writeRayError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"replicas scaled to %d"}`, n)
+}
+
+// autoscaler is Ray Serve's queue-driven replica autoscaling: while
+// requests back up behind the proxy, replicas grow toward AutoscaleMax;
+// when the queue drains, they shrink back to the configured floor.
+func (s *rayServer) autoscaler() {
+	defer s.wg.Done()
+	floor := s.cfg.Workers
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for range ticker.C {
+		s.mu.Lock()
+		closed := s.closed
+		current := len(s.replicas)
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		queued := len(s.workCh) + len(s.proxyCh)
+		switch {
+		case queued > 2*current && current < s.cfg.AutoscaleMax:
+			s.SetWorkers(current + 1)
+		case queued == 0 && current > floor:
+			s.SetWorkers(current - 1)
+		}
+	}
+}
+
+// Replicas reports the current replica count (autoscaling observability).
+func (s *rayServer) Replicas() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.replicas)
+}
+
+func (s *rayServer) Kind() Kind   { return RayServe }
+func (s *rayServer) Addr() string { return s.ln.Addr().String() }
+
+// SetWorkers rescales the replica pool.
+func (s *rayServer) SetWorkers(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("ray-serve: replica count must be positive, got %d", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.replicas) < n {
+		stop := make(chan struct{})
+		s.replicas = append(s.replicas, stop)
+		go s.replica(stop)
+	}
+	for len(s.replicas) > n {
+		close(s.replicas[len(s.replicas)-1])
+		s.replicas = s.replicas[:len(s.replicas)-1]
+	}
+	return nil
+}
+
+func (s *rayServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, stop := range s.replicas {
+		close(stop)
+	}
+	s.replicas = nil
+	s.mu.Unlock()
+	close(s.proxyCh)
+	err := s.http.Close()
+	s.wg.Wait()
+	return err
+}
+
+// handlePredict reads the body and hands the raw work to the single
+// proxy; the HTTP goroutine blocks until the proxy responds.
+func (s *rayServer) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.cfg.Network.Apply(len(body))
+	// The proxy performs deserialisation, routing, and serialisation
+	// for every request, single-threaded.
+	job := &rayJob{done: make(chan rayResult, 1)}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		http.Error(w, "ray-serve: shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	var req rayRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeRayError(w, http.StatusBadRequest, fmt.Sprintf("ray-serve: bad request: %v", err))
+		return
+	}
+	job.inputs, job.n = req.Inputs, req.N
+	select {
+	case s.proxyCh <- job:
+	default:
+		writeRayError(w, http.StatusServiceUnavailable, "ray-serve: proxy queue full")
+		return
+	}
+	res := <-job.done
+	if res.err != nil {
+		writeRayError(w, http.StatusInternalServerError, res.err.Error())
+		return
+	}
+	resp, err := json.Marshal(rayResponse{Predictions: res.out})
+	if err != nil {
+		writeRayError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.cfg.Network.Apply(len(resp))
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp)
+}
+
+func writeRayError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(rayResponse{Error: msg})
+}
+
+// proxyLoop is the single HTTP proxy: one goroutine validating and routing
+// every request to the replica pool.
+func (s *rayServer) proxyLoop() {
+	defer s.wg.Done()
+	for job := range s.proxyCh {
+		if err := serving.ValidateBatch(job.inputs, job.n, s.m.InputLen()); err != nil {
+			job.done <- rayResult{err: fmt.Errorf("ray-serve: %w", err)}
+			continue
+		}
+		s.workCh <- job
+	}
+}
+
+// replica is one deployment replica scoring requests.
+func (s *rayServer) replica(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case job := <-s.workCh:
+			s.cfg.Device.Transfer(4 * len(job.inputs))
+			out, err := embedded.ForwardUnfused(s.m, job.inputs, job.n, model.ExecHints{Workers: s.cfg.Device.Workers(), FastConv: s.cfg.Device.FastKernels()})
+			if err == nil {
+				s.cfg.Device.Transfer(4 * len(out))
+			}
+			job.done <- rayResult{out: out, err: err}
+		}
+	}
+}
+
+func (s *rayServer) handleMetadata(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	workers := len(s.replicas)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(metadata{
+		ModelName:  s.m.Name,
+		InputLen:   s.m.InputLen(),
+		OutputSize: s.m.OutputSize,
+		Framework:  string(RayServe),
+		Workers:    workers,
+	})
+}
+
+// rayClient talks HTTP + JSON to a rayServer, as the paper's Ray adapter
+// does (gRPC support in Ray Serve was experimental, §3.4.4).
+type rayClient struct {
+	base string
+	hc   *http.Client
+	meta metadata
+}
+
+func dialRayServe(addr string) (ScorerClient, error) {
+	hc := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: 128},
+		Timeout:   0,
+	}
+	c := &rayClient{base: "http://" + addr, hc: hc}
+	resp, err := hc.Get(c.base + "/-/routes")
+	if err != nil {
+		return nil, fmt.Errorf("ray-serve: metadata: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&c.meta); err != nil {
+		return nil, fmt.Errorf("ray-serve: metadata: %w", err)
+	}
+	return c, nil
+}
+
+// ScaleWorkers implements WorkerScaler over the management endpoint.
+func (c *rayClient) ScaleWorkers(n int) error {
+	resp, err := c.hc.Post(fmt.Sprintf("%s/-/scale?replicas=%d", c.base, n), "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("ray-serve: scale: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var rr rayResponse
+		json.NewDecoder(resp.Body).Decode(&rr)
+		return fmt.Errorf("ray-serve: scale: HTTP %d: %s", resp.StatusCode, rr.Error)
+	}
+	return nil
+}
+
+func (c *rayClient) Name() string    { return string(RayServe) }
+func (c *rayClient) InputLen() int   { return c.meta.InputLen }
+func (c *rayClient) OutputSize() int { return c.meta.OutputSize }
+func (c *rayClient) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// Score implements serving.Scorer over HTTP.
+func (c *rayClient) Score(inputs []float32, n int) ([]float32, error) {
+	if err := serving.ValidateBatch(inputs, n, c.meta.InputLen); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(rayRequest{Inputs: inputs, N: n})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Post(c.base+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("ray-serve: %w", err)
+	}
+	defer resp.Body.Close()
+	var rr rayResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("ray-serve: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("ray-serve: HTTP %d: %s", resp.StatusCode, rr.Error)
+	}
+	if len(rr.Predictions) != n*c.meta.OutputSize {
+		return nil, fmt.Errorf("ray-serve: response length %d, want %d", len(rr.Predictions), n*c.meta.OutputSize)
+	}
+	return rr.Predictions, nil
+}

@@ -1,0 +1,184 @@
+package external
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"crayfish/internal/grpcish"
+	"crayfish/internal/model"
+	"crayfish/internal/serving"
+	"crayfish/internal/serving/embedded"
+)
+
+// RPC method names mirroring TensorFlow Serving's gRPC surface.
+const (
+	tfPredictMethod  = "tensorflow.serving.PredictionService/Predict"
+	tfMetadataMethod = "tensorflow.serving.PredictionService/GetModelMetadata"
+)
+
+// tfServer is the TensorFlow-Serving analogue: a compact binary Predict
+// RPC fed into a bounded inference thread pool running the fused engine.
+// Scaling follows the paper: "setting the maximum number of threads that
+// can be used to process events concurrently".
+type tfServer struct {
+	cfg    Config
+	m      *model.Model
+	engine *embedded.Engine
+	rpc    *grpcish.Server
+
+	mu       sync.Mutex
+	permits  chan struct{}
+	versions map[int]*tfVersion
+	latest   int
+}
+
+func startTFServing(cfg Config, m *model.Model) (Server, error) {
+	served := m
+	if cfg.Device.FastKernels() {
+		// The accelerated deployment applies load-time graph
+		// optimisation: batch norms fold into their convolutions,
+		// as TF-Serving's GPU graph rewrites do.
+		served = model.FoldBatchNorm(m)
+	}
+	s := &tfServer{cfg: cfg, m: m, engine: embedded.NewEngine(served, true)}
+	s.initVersions(m, s.engine)
+	s.permits = make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		s.permits <- struct{}{}
+	}
+	s.rpc = grpcish.NewServer()
+	s.rpc.Handle(tfPredictMethod, s.predict)
+	s.rpc.Handle(tfMetadataMethod, s.metadata)
+	s.rpc.Handle(tfReloadMethod, s.handleReload)
+	s.rpc.Handle(tfPredictVersionMethod, s.handlePredictVersion)
+	if err := s.rpc.Serve(cfg.Addr); err != nil {
+		return nil, fmt.Errorf("tf-serving: %w", err)
+	}
+	return s, nil
+}
+
+func (s *tfServer) Kind() Kind   { return TFServing }
+func (s *tfServer) Addr() string { return s.rpc.Addr() }
+
+func (s *tfServer) SetWorkers(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("tf-serving: worker count must be positive, got %d", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	permits := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		permits <- struct{}{}
+	}
+	s.permits = permits
+	s.cfg.Workers = n
+	return nil
+}
+
+func (s *tfServer) Close() error { return s.rpc.Close() }
+
+func (s *tfServer) pool() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.permits
+}
+
+// predict decodes the compact binary batch, scores it under a thread
+// permit against the latest deployed version, and returns raw float32
+// probabilities.
+func (s *tfServer) predict(req []byte) ([]byte, error) {
+	tv, err := s.version(0)
+	if err != nil {
+		return nil, err
+	}
+	return s.predictWith(tv, req)
+}
+
+// predictWith scores a batch payload against one deployed version.
+func (s *tfServer) predictWith(tv *tfVersion, req []byte) ([]byte, error) {
+	s.cfg.Network.Apply(len(req))
+	inputs, n, err := serving.DecodeBatch(req)
+	if err != nil {
+		return nil, fmt.Errorf("tf-serving: %w", err)
+	}
+	if err := serving.ValidateBatch(inputs, n, tv.m.InputLen()); err != nil {
+		return nil, fmt.Errorf("tf-serving: %w", err)
+	}
+	pool := s.pool()
+	<-pool
+	s.cfg.Device.Transfer(4 * len(inputs))
+	out, err := tv.engine.Run(inputs, n, model.ExecHints{Workers: s.cfg.Device.Workers(), FastConv: s.cfg.Device.FastKernels()})
+	if err == nil {
+		s.cfg.Device.Transfer(4 * len(out))
+	}
+	pool <- struct{}{}
+	if err != nil {
+		return nil, fmt.Errorf("tf-serving: %w", err)
+	}
+	resp := serving.EncodeBatch(out, n)
+	s.cfg.Network.Apply(len(resp))
+	return resp, nil
+}
+
+func (s *tfServer) metadata([]byte) ([]byte, error) {
+	s.mu.Lock()
+	workers := s.cfg.Workers
+	s.mu.Unlock()
+	return json.Marshal(metadata{
+		ModelName:  s.m.Name,
+		InputLen:   s.m.InputLen(),
+		OutputSize: s.m.OutputSize,
+		Framework:  string(TFServing),
+		Workers:    workers,
+	})
+}
+
+// tfClient is the gRPC client for tfServer.
+type tfClient struct {
+	c    *grpcish.Client
+	meta metadata
+}
+
+func dialTFServing(addr string) (ScorerClient, error) {
+	c, err := grpcish.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.Call(tfMetadataMethod, nil)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tf-serving: metadata: %w", err)
+	}
+	var meta metadata
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tf-serving: metadata: %w", err)
+	}
+	return &tfClient{c: c, meta: meta}, nil
+}
+
+func (c *tfClient) Name() string    { return string(TFServing) }
+func (c *tfClient) InputLen() int   { return c.meta.InputLen }
+func (c *tfClient) OutputSize() int { return c.meta.OutputSize }
+func (c *tfClient) Close() error    { return c.c.Close() }
+
+// Score implements serving.Scorer over the network. Calls are blocking, as
+// all external calls in the paper's experiments are (§4.3).
+func (c *tfClient) Score(inputs []float32, n int) ([]float32, error) {
+	if err := serving.ValidateBatch(inputs, n, c.meta.InputLen); err != nil {
+		return nil, err
+	}
+	resp, err := c.c.Call(tfPredictMethod, serving.EncodeBatch(inputs, n))
+	if err != nil {
+		return nil, err
+	}
+	out, m, err := serving.DecodeBatch(resp)
+	if err != nil {
+		return nil, err
+	}
+	if m != n {
+		return nil, fmt.Errorf("tf-serving: response batch %d != request %d", m, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,267 @@
+package external
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"crayfish/internal/grpcish"
+	"crayfish/internal/model"
+	"crayfish/internal/serving"
+	"crayfish/internal/serving/embedded"
+)
+
+// RPC method names mirroring TorchServe's gRPC inference/management APIs.
+const (
+	torchPredictMethod  = "org.pytorch.serve.grpc.inference/Predictions"
+	torchMetadataMethod = "org.pytorch.serve.grpc.management/DescribeModel"
+)
+
+// torchServer is the TorchServe analogue. Scaling follows the paper:
+// "adjusting the number of worker processes used for inference". Each
+// worker owns a model instance and a request mailbox; a dispatcher feeds
+// workers round-robin. Every request runs through a Python-handler
+// analogue: the tensor payload is re-encoded into a dynamic representation
+// (JSON) on the way in and out of the handler, which is the real cost the
+// paper attributes to TorchServe's handler architecture.
+type torchServer struct {
+	cfg Config
+	m   *model.Model
+	rpc *grpcish.Server
+
+	mu      sync.Mutex
+	jobs    chan *torchJob
+	stops   []chan struct{}
+	workers int
+}
+
+type torchJob struct {
+	payload []byte
+	done    chan torchResult
+}
+
+type torchResult struct {
+	resp []byte
+	err  error
+}
+
+func startTorchServe(cfg Config, m *model.Model) (Server, error) {
+	s := &torchServer{cfg: cfg, m: m, jobs: make(chan *torchJob, 1024)}
+	if err := s.SetWorkers(cfg.Workers); err != nil {
+		return nil, err
+	}
+	s.rpc = grpcish.NewServer()
+	s.rpc.Handle(torchPredictMethod, s.predict)
+	s.rpc.Handle(torchMetadataMethod, s.metadata)
+	s.rpc.Handle(torchScaleMethod, s.handleScale)
+	if err := s.rpc.Serve(cfg.Addr); err != nil {
+		s.stopWorkersLocked()
+		return nil, fmt.Errorf("torchserve: %w", err)
+	}
+	return s, nil
+}
+
+func (s *torchServer) Kind() Kind   { return TorchServe }
+func (s *torchServer) Addr() string { return s.rpc.Addr() }
+
+// SetWorkers rescales the worker-process pool.
+func (s *torchServer) SetWorkers(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("torchserve: worker count must be positive, got %d", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.stops) < n {
+		stop := make(chan struct{})
+		s.stops = append(s.stops, stop)
+		go s.worker(stop)
+	}
+	for len(s.stops) > n {
+		close(s.stops[len(s.stops)-1])
+		s.stops = s.stops[:len(s.stops)-1]
+	}
+	s.workers = n
+	return nil
+}
+
+func (s *torchServer) stopWorkersLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, stop := range s.stops {
+		close(stop)
+	}
+	s.stops = nil
+}
+
+func (s *torchServer) Close() error {
+	err := s.rpc.Close()
+	s.stopWorkersLocked()
+	return err
+}
+
+// worker is one TorchServe worker process: it owns the handler and model.
+func (s *torchServer) worker(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case job := <-s.jobs:
+			resp, err := s.handle(job.payload)
+			job.done <- torchResult{resp: resp, err: err}
+		}
+	}
+}
+
+// handlerRequest is the dynamic representation the Python-handler analogue
+// marshals tensors through.
+type handlerRequest struct {
+	Instances [][]float64 `json:"instances"`
+}
+
+type handlerResponse struct {
+	Predictions [][]float64 `json:"predictions"`
+}
+
+// handle implements the worker-side handler path: binary -> dynamic ->
+// unfused forward -> dynamic -> binary.
+func (s *torchServer) handle(payload []byte) ([]byte, error) {
+	inputs, n, err := serving.DecodeBatch(payload)
+	if err != nil {
+		return nil, fmt.Errorf("torchserve: %w", err)
+	}
+	if err := serving.ValidateBatch(inputs, n, s.m.InputLen()); err != nil {
+		return nil, fmt.Errorf("torchserve: %w", err)
+	}
+	// preprocess(): the handler receives request data as dynamic nested
+	// lists, exactly as a TorchServe Python handler does.
+	il := s.m.InputLen()
+	hreq := handlerRequest{Instances: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		row := make([]float64, il)
+		for j := 0; j < il; j++ {
+			row[j] = float64(inputs[i*il+j])
+		}
+		hreq.Instances[i] = row
+	}
+	dyn, err := json.Marshal(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("torchserve handler: %w", err)
+	}
+	var parsed handlerRequest
+	if err := json.Unmarshal(dyn, &parsed); err != nil {
+		return nil, fmt.Errorf("torchserve handler: %w", err)
+	}
+	flat := make([]float32, 0, n*il)
+	for _, row := range parsed.Instances {
+		for _, v := range row {
+			flat = append(flat, float32(v))
+		}
+	}
+
+	// inference(): native PyTorch model, eager (unfused) execution.
+	s.cfg.Device.Transfer(4 * len(flat))
+	out, err := embedded.ForwardUnfused(s.m, flat, n, model.ExecHints{Workers: s.cfg.Device.Workers(), FastConv: s.cfg.Device.FastKernels()})
+	if err != nil {
+		return nil, fmt.Errorf("torchserve: %w", err)
+	}
+	s.cfg.Device.Transfer(4 * len(out))
+
+	// postprocess(): back through the dynamic representation.
+	os := s.m.OutputSize
+	hresp := handlerResponse{Predictions: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		row := make([]float64, os)
+		for j := 0; j < os; j++ {
+			row[j] = float64(out[i*os+j])
+		}
+		hresp.Predictions[i] = row
+	}
+	dyn, err = json.Marshal(hresp)
+	if err != nil {
+		return nil, fmt.Errorf("torchserve handler: %w", err)
+	}
+	var parsedOut handlerResponse
+	if err := json.Unmarshal(dyn, &parsedOut); err != nil {
+		return nil, fmt.Errorf("torchserve handler: %w", err)
+	}
+	final := make([]float32, 0, n*os)
+	for _, row := range parsedOut.Predictions {
+		for _, v := range row {
+			final = append(final, float32(v))
+		}
+	}
+	return serving.EncodeBatch(final, n), nil
+}
+
+// predict enqueues a request for a worker process and waits.
+func (s *torchServer) predict(req []byte) ([]byte, error) {
+	s.cfg.Network.Apply(len(req))
+	job := &torchJob{payload: req, done: make(chan torchResult, 1)}
+	s.jobs <- job
+	res := <-job.done
+	if res.err == nil {
+		s.cfg.Network.Apply(len(res.resp))
+	}
+	return res.resp, res.err
+}
+
+func (s *torchServer) metadata([]byte) ([]byte, error) {
+	s.mu.Lock()
+	workers := s.workers
+	s.mu.Unlock()
+	return json.Marshal(metadata{
+		ModelName:  s.m.Name,
+		InputLen:   s.m.InputLen(),
+		OutputSize: s.m.OutputSize,
+		Framework:  string(TorchServe),
+		Workers:    workers,
+	})
+}
+
+// torchClient is the gRPC client for torchServer.
+type torchClient struct {
+	c    *grpcish.Client
+	meta metadata
+}
+
+func dialTorchServe(addr string) (ScorerClient, error) {
+	c, err := grpcish.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.Call(torchMetadataMethod, nil)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("torchserve: metadata: %w", err)
+	}
+	var meta metadata
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("torchserve: metadata: %w", err)
+	}
+	return &torchClient{c: c, meta: meta}, nil
+}
+
+func (c *torchClient) Name() string    { return string(TorchServe) }
+func (c *torchClient) InputLen() int   { return c.meta.InputLen }
+func (c *torchClient) OutputSize() int { return c.meta.OutputSize }
+func (c *torchClient) Close() error    { return c.c.Close() }
+
+// Score implements serving.Scorer over the network.
+func (c *torchClient) Score(inputs []float32, n int) ([]float32, error) {
+	if err := serving.ValidateBatch(inputs, n, c.meta.InputLen); err != nil {
+		return nil, err
+	}
+	resp, err := c.c.Call(torchPredictMethod, serving.EncodeBatch(inputs, n))
+	if err != nil {
+		return nil, err
+	}
+	out, m, err := serving.DecodeBatch(resp)
+	if err != nil {
+		return nil, err
+	}
+	if m != n {
+		return nil, fmt.Errorf("torchserve: response batch %d != request %d", m, n)
+	}
+	return out, nil
+}

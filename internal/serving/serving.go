@@ -1,0 +1,72 @@
+// Package serving defines the model-serving SPI from §3.2 of the paper:
+// a serving tool provides load (bring a stored model into memory) and
+// apply (score a batch). Embedded runtimes and external-serving clients
+// both satisfy the Scorer interface, so stream processors are agnostic to
+// where inference actually runs.
+package serving
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Scorer scores batches of data points. Implementations must be safe for
+// concurrent use: stream processors call Score from mp parallel operator
+// instances.
+type Scorer interface {
+	// Name identifies the serving tool ("onnx", "tf-serving", ...).
+	Name() string
+	// Score runs inference over a batch of n data points, flattened
+	// row-major into inputs, and returns n×outputSize probabilities.
+	Score(inputs []float32, n int) ([]float32, error)
+	// InputLen returns the per-point input length the model expects.
+	InputLen() int
+	// OutputSize returns the per-point output width.
+	OutputSize() int
+}
+
+// Closer is implemented by scorers holding resources (network clients).
+type Closer interface {
+	Close() error
+}
+
+// ValidateBatch checks a (inputs, n) pair against a model's input length.
+func ValidateBatch(inputs []float32, n, inputLen int) error {
+	if n <= 0 {
+		return fmt.Errorf("serving: non-positive batch size %d", n)
+	}
+	if len(inputs) != n*inputLen {
+		return fmt.Errorf("serving: batch of %d points wants %d values, got %d", n, n*inputLen, len(inputs))
+	}
+	return nil
+}
+
+// EncodeBatch renders a float32 batch as the compact binary wire payload
+// used by the gRPC-style external servers: u32 count then raw
+// little-endian values.
+func EncodeBatch(inputs []float32, n int) []byte {
+	out := make([]byte, 4+4*len(inputs))
+	binary.LittleEndian.PutUint32(out, uint32(n))
+	for i, v := range inputs {
+		binary.LittleEndian.PutUint32(out[4+4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// DecodeBatch parses an EncodeBatch payload.
+func DecodeBatch(data []byte) (inputs []float32, n int, err error) {
+	if len(data) < 4 || (len(data)-4)%4 != 0 {
+		return nil, 0, fmt.Errorf("serving: malformed batch payload of %d bytes", len(data))
+	}
+	n = int(binary.LittleEndian.Uint32(data))
+	if n < 0 {
+		return nil, 0, fmt.Errorf("serving: negative batch count")
+	}
+	vals := (len(data) - 4) / 4
+	inputs = make([]float32, vals)
+	for i := range inputs {
+		inputs[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4+4*i:]))
+	}
+	return inputs, n, nil
+}

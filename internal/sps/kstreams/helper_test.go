@@ -1,0 +1,7 @@
+package kstreams
+
+import "crayfish/internal/broker"
+
+func topicPartition(topic string, p int) broker.TopicPartition {
+	return broker.TopicPartition{Topic: topic, Partition: p}
+}

@@ -1,0 +1,124 @@
+package ray
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ObjectRef names a value in the object store.
+type ObjectRef uint64
+
+// ObjectStore is the Ray-analogue shared object store: every message
+// between actors is serialised into the store by the sender and fetched
+// (and released) by the receiver, paying the two copies and the shared-
+// store synchronisation Ray pays for inter-actor data movement.
+type ObjectStore struct {
+	mu      sync.Mutex
+	next    ObjectRef
+	objects map[ObjectRef][]byte
+}
+
+// NewObjectStore returns an empty store.
+func NewObjectStore() *ObjectStore {
+	return &ObjectStore{objects: make(map[ObjectRef][]byte)}
+}
+
+// Put copies value into the store and returns its ref.
+func (s *ObjectStore) Put(value []byte) ObjectRef {
+	buf := make([]byte, len(value))
+	copy(buf, value)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	ref := s.next
+	s.objects[ref] = buf
+	return ref
+}
+
+// Get copies the value out of the store and releases the ref. Refs are
+// single-consumer in the pipeline topology.
+func (s *ObjectStore) Get(ref ObjectRef) ([]byte, error) {
+	s.mu.Lock()
+	buf, ok := s.objects[ref]
+	if ok {
+		delete(s.objects, ref)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("ray: object %d not found", ref)
+	}
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	return out, nil
+}
+
+// Len reports the number of live objects (for leak tests).
+func (s *ObjectStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// Mailbox is an actor's bounded message queue, carrying object refs.
+type Mailbox chan ObjectRef
+
+// Actor is a processing actor with a mailbox and a behaviour that runs on
+// its own goroutine.
+type Actor struct {
+	Name  string
+	Inbox Mailbox
+	store *ObjectStore
+}
+
+// System owns the object store and the spawned actors.
+type System struct {
+	store *ObjectStore
+
+	mu     sync.Mutex
+	actors []*Actor
+	wg     sync.WaitGroup
+}
+
+// NewSystem creates an actor system with a fresh object store.
+func NewSystem() *System {
+	return &System{store: NewObjectStore()}
+}
+
+// Store returns the system's object store.
+func (sys *System) Store() *ObjectStore { return sys.store }
+
+// Spawn starts an actor running behaviour on its own goroutine. The
+// behaviour receives the actor and returns when the actor is done (its
+// inbox closed or its source exhausted).
+func (sys *System) Spawn(name string, inboxCap int, behaviour func(*Actor)) *Actor {
+	a := &Actor{Name: name, Inbox: make(Mailbox, inboxCap), store: sys.store}
+	sys.mu.Lock()
+	sys.actors = append(sys.actors, a)
+	sys.mu.Unlock()
+	sys.wg.Add(1)
+	go func() {
+		defer sys.wg.Done()
+		behaviour(a)
+	}()
+	return a
+}
+
+// Wait blocks until every spawned actor has returned.
+func (sys *System) Wait() { sys.wg.Wait() }
+
+// Send serialises value into the object store and delivers its ref to the
+// target's mailbox.
+func (a *Actor) Send(to *Actor, value []byte) {
+	to.Inbox <- a.store.Put(value)
+}
+
+// Recv takes the next message from the mailbox and materialises it from
+// the object store. ok is false once the mailbox is closed and drained.
+func (a *Actor) Recv() (value []byte, ok bool, err error) {
+	ref, ok := <-a.Inbox
+	if !ok {
+		return nil, false, nil
+	}
+	value, err = a.store.Get(ref)
+	return value, true, err
+}

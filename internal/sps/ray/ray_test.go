@@ -1,0 +1,149 @@
+package ray
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"crayfish/internal/sps"
+	"crayfish/internal/sps/spstest"
+)
+
+func TestConformance(t *testing.T) {
+	spstest.RunConformance(t, func() sps.Processor { return New() })
+}
+
+func TestRegistered(t *testing.T) {
+	p, err := sps.New("ray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "ray" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestObjectStorePutGet(t *testing.T) {
+	s := NewObjectStore()
+	ref := s.Put([]byte("payload"))
+	got, err := s.Get(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("Get = %q", got)
+	}
+	// Refs are single-consumer: second Get fails.
+	if _, err := s.Get(ref); err == nil {
+		t.Fatal("double Get succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("store leaked %d objects", s.Len())
+	}
+}
+
+func TestObjectStoreCopies(t *testing.T) {
+	s := NewObjectStore()
+	src := []byte("abc")
+	ref := s.Put(src)
+	src[0] = 'X'
+	got, err := s.Get(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 'X' {
+		t.Fatal("Put aliased the caller's buffer")
+	}
+	got[0] = 'Y' // must not affect the (now deleted) stored value
+}
+
+func TestObjectStoreConcurrent(t *testing.T) {
+	s := NewObjectStore()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := []byte{byte(w)}
+			for i := 0; i < 200; i++ {
+				ref := s.Put(payload)
+				got, err := s.Get(ref)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got[0] != byte(w) {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("store leaked %d objects", s.Len())
+	}
+}
+
+func TestActorChainDrainsOnClose(t *testing.T) {
+	sys := NewSystem()
+	var received [][]byte
+	var mu sync.Mutex
+	sink := sys.Spawn("sink", 8, func(a *Actor) {
+		for {
+			v, ok, err := a.Recv()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !ok {
+				return
+			}
+			mu.Lock()
+			received = append(received, v)
+			mu.Unlock()
+		}
+	})
+	src := sys.Spawn("src", 8, func(a *Actor) {
+		defer close(sink.Inbox)
+		for i := 0; i < 5; i++ {
+			a.Send(sink, []byte{byte(i)})
+		}
+	})
+	_ = src
+	sys.Wait()
+	if len(received) != 5 {
+		t.Fatalf("sink received %d messages, want 5", len(received))
+	}
+	if sys.Store().Len() != 0 {
+		t.Fatalf("object store leaked %d objects", sys.Store().Len())
+	}
+}
+
+func TestPipelineLeavesNoObjects(t *testing.T) {
+	// After a full job run + stop, the object store must be empty:
+	// every hop's ref was consumed.
+	h := spstest.NewHarness(t, 2, 2)
+	h.Produce(t, 20)
+	e := New()
+	job, err := e.Run(h.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.CollectOutput(t, 20, 10*time.Second)
+	if len(out) != 20 {
+		t.Fatalf("got %d records", len(out))
+	}
+	if err := job.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if store := job.(interface{ storeLen() int }); store.storeLen() != 0 {
+		t.Fatalf("object store leaked %d objects", store.storeLen())
+	}
+}

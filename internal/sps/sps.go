@@ -1,0 +1,181 @@
+// Package sps defines the stream-processor adapter SPI from §3.2 of the
+// paper. Any event-based engine that can run the three-operator DAG —
+// inputOp (broker source), scoringOp (inference transform), outputOp
+// (broker sink) — and can set the parallelism of its computation plugs in
+// as a Processor.
+//
+// The four engines the paper evaluates live in the subpackages flink
+// (push-based, pipelined), kstreams (pull-based), sparkss (micro-batch),
+// and ray (actor-based).
+package sps
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"crayfish/internal/broker"
+)
+
+// Transform is the scoring operator's logic: it maps one record value (a
+// serialized CrayfishDataBatch) to its scored value. Implementations must
+// be safe for concurrent use; engines invoke the transform from mp
+// parallel operator instances.
+type Transform func(value []byte) ([]byte, error)
+
+// Parallelism configures operator scaling. Default is the paper's mp
+// parameter; the per-operator fields override it for operator-level
+// parallelism experiments (Figure 12's flink[32-N-32]).
+type Parallelism struct {
+	Default int
+	Source  int
+	Score   int
+	Sink    int
+}
+
+// Normalize fills zero fields from Default and validates the result.
+func (p Parallelism) Normalize() (Parallelism, error) {
+	if p.Default <= 0 {
+		p.Default = 1
+	}
+	if p.Source == 0 {
+		p.Source = p.Default
+	}
+	if p.Score == 0 {
+		p.Score = p.Default
+	}
+	if p.Sink == 0 {
+		p.Sink = p.Default
+	}
+	if p.Source < 0 || p.Score < 0 || p.Sink < 0 {
+		return p, fmt.Errorf("sps: negative parallelism %+v", p)
+	}
+	return p, nil
+}
+
+// Uniform reports whether all three operators share one parallelism, the
+// condition under which engines chain operators.
+func (p Parallelism) Uniform() bool {
+	return p.Source == p.Score && p.Score == p.Sink
+}
+
+// JobSpec describes one streaming-inference job.
+type JobSpec struct {
+	// Transport is the broker connection (in-process or TCP).
+	Transport broker.Transport
+	// InputTopic and OutputTopic are the Crayfish Kafka topics.
+	InputTopic  string
+	OutputTopic string
+	// Group is the consumer group the source operators join.
+	Group string
+	// Transform is the scoring logic.
+	Transform Transform
+	// Parallelism scales the operators.
+	Parallelism Parallelism
+	// PollMax bounds records fetched per source poll; 0 means an
+	// engine-specific default.
+	PollMax int
+}
+
+// Validate checks the spec's required fields.
+func (s *JobSpec) Validate() error {
+	if s.Transport == nil {
+		return errors.New("sps: job needs a broker transport")
+	}
+	if s.InputTopic == "" || s.OutputTopic == "" {
+		return errors.New("sps: job needs input and output topics")
+	}
+	if s.Transform == nil {
+		return errors.New("sps: job needs a transform")
+	}
+	if s.Group == "" {
+		s.Group = "crayfish-sps"
+	}
+	var err error
+	s.Parallelism, err = s.Parallelism.Normalize()
+	return err
+}
+
+// Job is a running streaming job.
+type Job interface {
+	// Stop halts ingestion, drains in-flight records, and releases
+	// resources. It is idempotent.
+	Stop() error
+	// Err returns the first asynchronous failure observed by any
+	// operator, or nil.
+	Err() error
+}
+
+// Processor is a stream-processing engine adapter.
+type Processor interface {
+	// Name identifies the engine ("flink", "kafka-streams", ...).
+	Name() string
+	// Run starts the I→S→O job described by spec.
+	Run(spec JobSpec) (Job, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Processor{}
+)
+
+// Register installs an engine factory under a name. Engine subpackages
+// call it from init.
+func Register(name string, factory func() Processor) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sps: duplicate engine %q", name))
+	}
+	registry[name] = factory
+}
+
+// New instantiates a registered engine.
+func New(name string) (Processor, error) {
+	regMu.RLock()
+	factory, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sps: unknown engine %q (known: %v)", name, Names())
+	}
+	return factory(), nil
+}
+
+// Names lists registered engines in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrTracker collects the first asynchronous error from a job's operator
+// goroutines. The zero value is ready to use.
+type ErrTracker struct {
+	mu  sync.Mutex
+	err error
+}
+
+// Set records err if it is the first non-nil error.
+func (e *ErrTracker) Set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Get returns the recorded error.
+func (e *ErrTracker) Get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -1,0 +1,134 @@
+package sps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crayfish/internal/broker"
+)
+
+func TestParallelismNormalize(t *testing.T) {
+	p, err := Parallelism{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Default != 1 || p.Source != 1 || p.Score != 1 || p.Sink != 1 {
+		t.Fatalf("zero value normalised to %+v", p)
+	}
+	p, err = Parallelism{Default: 4, Score: 2}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != 4 || p.Score != 2 || p.Sink != 4 {
+		t.Fatalf("override normalised to %+v", p)
+	}
+	if _, err := (Parallelism{Default: 2, Score: -1}).Normalize(); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+}
+
+func TestParallelismUniform(t *testing.T) {
+	p, _ := Parallelism{Default: 3}.Normalize()
+	if !p.Uniform() {
+		t.Fatal("N-N-N not uniform")
+	}
+	p, _ = Parallelism{Default: 3, Source: 32, Sink: 32}.Normalize()
+	if p.Uniform() {
+		t.Fatal("32-3-32 reported uniform")
+	}
+}
+
+func TestParallelismNormalizeProperty(t *testing.T) {
+	f := func(d, src, score, sink uint8) bool {
+		p, err := Parallelism{
+			Default: int(d) % 32,
+			Source:  int(src) % 32,
+			Score:   int(score) % 32,
+			Sink:    int(sink) % 32,
+		}.Normalize()
+		if err != nil {
+			return false
+		}
+		return p.Default >= 1 && p.Source >= 1 && p.Score >= 1 && p.Sink >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := New("storm"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register("dup-test", func() Processor { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("dup-test", func() Processor { return nil })
+}
+
+func TestErrTrackerKeepsFirst(t *testing.T) {
+	var e ErrTracker
+	if e.Get() != nil {
+		t.Fatal("zero tracker not nil")
+	}
+	e.Set(nil)
+	if e.Get() != nil {
+		t.Fatal("Set(nil) recorded")
+	}
+	first := errDummy("first")
+	e.Set(first)
+	e.Set(errDummy("second"))
+	if e.Get() != first {
+		t.Fatalf("Get = %v", e.Get())
+	}
+}
+
+type errDummy string
+
+func (e errDummy) Error() string { return string(e) }
+
+func TestJobSpecValidateDefaults(t *testing.T) {
+	spec := JobSpec{}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	spec = JobSpec{Transport: fakeTransport{}, InputTopic: "a", OutputTopic: "b", Transform: func(v []byte) ([]byte, error) { return v, nil }}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Group == "" {
+		t.Fatal("group not defaulted")
+	}
+	if spec.Parallelism.Default != 1 {
+		t.Fatalf("parallelism not normalised: %+v", spec.Parallelism)
+	}
+	spec.InputTopic = ""
+	if err := spec.Validate(); err == nil {
+		t.Fatal("missing input topic accepted")
+	}
+}
+
+func TestNamesIncludesRegistered(t *testing.T) {
+	Register("names-test", func() Processor { return nil })
+	found := false
+	for _, n := range Names() {
+		if n == "names-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v", Names())
+	}
+	if _, err := New("names-test"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeTransport satisfies broker.Transport for spec validation tests.
+type fakeTransport struct{ broker.Transport }

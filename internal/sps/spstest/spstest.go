@@ -1,0 +1,207 @@
+// Package spstest provides a conformance suite that every stream-processor
+// engine must pass: records flow from the input topic through the
+// transform to the output topic, parallel configurations work, transform
+// failures surface through Job.Err, and Stop drains cleanly.
+package spstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"crayfish/internal/broker"
+	"crayfish/internal/sps"
+)
+
+// Harness wires a fresh broker with input/output topics.
+type Harness struct {
+	Broker *broker.Broker
+	Spec   sps.JobSpec
+}
+
+// NewHarness builds a broker with the given partition counts and a job
+// spec using an uppercase-ish transform (appends "!scored").
+func NewHarness(t *testing.T, inParts, outParts int) *Harness {
+	t.Helper()
+	b := broker.New(broker.DefaultConfig())
+	if err := b.CreateTopic("in", inParts); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("out", outParts); err != nil {
+		t.Fatal(err)
+	}
+	return &Harness{
+		Broker: b,
+		Spec: sps.JobSpec{
+			Transport:   b,
+			InputTopic:  "in",
+			OutputTopic: "out",
+			Group:       "test-group",
+			Transform: func(v []byte) ([]byte, error) {
+				return append(append([]byte(nil), v...), []byte("!scored")...), nil
+			},
+		},
+	}
+}
+
+// Produce writes n records "r0".."rn-1" round-robin to the input topic.
+func (h *Harness) Produce(t *testing.T, n int) {
+	t.Helper()
+	p, err := broker.NewProducer(h.Broker, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := p.Send(nil, []byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// CollectOutput polls the output topic until n records arrive or the
+// deadline passes, returning the values sorted.
+func (h *Harness) CollectOutput(t *testing.T, n int, deadline time.Duration) [][]byte {
+	t.Helper()
+	c, err := broker.NewAssignedConsumer(h.Broker, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	stop := time.Now().Add(deadline)
+	for len(out) < n && time.Now().Before(stop) {
+		recs, err := c.Poll(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			out = append(out, r.Value)
+		}
+		if len(recs) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// RunConformance exercises an engine factory against the full suite.
+func RunConformance(t *testing.T, factory func() sps.Processor) {
+	t.Helper()
+	t.Run("EndToEnd", func(t *testing.T) { testEndToEnd(t, factory(), 1) })
+	t.Run("Parallel4", func(t *testing.T) { testEndToEnd(t, factory(), 4) })
+	t.Run("ParallelBeyondPartitions", func(t *testing.T) { testEndToEnd(t, factory(), 9) })
+	t.Run("TransformErrorSurfaces", func(t *testing.T) { testTransformError(t, factory()) })
+	t.Run("StopIdempotent", func(t *testing.T) { testStopIdempotent(t, factory()) })
+	t.Run("SpecValidation", func(t *testing.T) { testSpecValidation(t, factory()) })
+	t.Run("ContinuousFlow", func(t *testing.T) { testContinuousFlow(t, factory()) })
+}
+
+func testEndToEnd(t *testing.T, proc sps.Processor, mp int) {
+	h := NewHarness(t, 4, 4)
+	const n = 40
+	h.Produce(t, n)
+	h.Spec.Parallelism = sps.Parallelism{Default: mp}
+	job, err := proc.Run(h.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.CollectOutput(t, n, 10*time.Second)
+	if err := job.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if len(out) != n {
+		t.Fatalf("%s: got %d records, want %d", proc.Name(), len(out), n)
+	}
+	want := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		want = append(want, []byte(fmt.Sprintf("r%d!scored", i)))
+	}
+	sort.Slice(want, func(i, j int) bool { return bytes.Compare(want[i], want[j]) < 0 })
+	for i := range want {
+		if !bytes.Equal(out[i], want[i]) {
+			t.Fatalf("%s: record %d = %q, want %q", proc.Name(), i, out[i], want[i])
+		}
+	}
+}
+
+func testTransformError(t *testing.T, proc sps.Processor) {
+	h := NewHarness(t, 2, 2)
+	boom := errors.New("scoring exploded")
+	h.Spec.Transform = func(v []byte) ([]byte, error) { return nil, boom }
+	h.Produce(t, 3)
+	job, err := proc.Run(h.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for job.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if job.Err() == nil {
+		t.Fatalf("%s: transform error never surfaced", proc.Name())
+	}
+	if err := job.Stop(); err == nil {
+		t.Fatalf("%s: Stop did not report the error", proc.Name())
+	}
+}
+
+func testStopIdempotent(t *testing.T, proc sps.Processor) {
+	h := NewHarness(t, 2, 2)
+	job, err := proc.Run(h.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Stop(); err != nil {
+		t.Fatalf("%s: second Stop: %v", proc.Name(), err)
+	}
+}
+
+func testSpecValidation(t *testing.T, proc sps.Processor) {
+	h := NewHarness(t, 1, 1)
+	bad := h.Spec
+	bad.Transform = nil
+	if _, err := proc.Run(bad); err == nil {
+		t.Fatalf("%s: nil transform accepted", proc.Name())
+	}
+	bad = h.Spec
+	bad.Transport = nil
+	if _, err := proc.Run(bad); err == nil {
+		t.Fatalf("%s: nil transport accepted", proc.Name())
+	}
+	bad = h.Spec
+	bad.InputTopic = ""
+	if _, err := proc.Run(bad); err == nil {
+		t.Fatalf("%s: empty input topic accepted", proc.Name())
+	}
+	bad = h.Spec
+	bad.InputTopic = "missing"
+	if _, err := proc.Run(bad); err == nil {
+		t.Fatalf("%s: missing input topic accepted", proc.Name())
+	}
+}
+
+func testContinuousFlow(t *testing.T, proc sps.Processor) {
+	// Records produced while the job is already running must flow too
+	// (streaming, not batch).
+	h := NewHarness(t, 2, 2)
+	h.Spec.Parallelism = sps.Parallelism{Default: 2}
+	job, err := proc.Run(h.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+	for round := 0; round < 3; round++ {
+		h.Produce(t, 5)
+		time.Sleep(5 * time.Millisecond)
+	}
+	out := h.CollectOutput(t, 15, 10*time.Second)
+	if len(out) != 15 {
+		t.Fatalf("%s: got %d records, want 15", proc.Name(), len(out))
+	}
+}

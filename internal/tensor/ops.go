@@ -1,0 +1,382 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// matMulBlock is the cache-blocking tile edge used by MatMul.
+const matMulBlock = 64
+
+// MatMul computes C = A × B for 2-D tensors A (m×k) and B (k×n) into a new
+// m×n tensor using i-k-j loop ordering with cache blocking.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: MatMul requires rank-2 operands, got %v × %v", a.shape, b.shape)
+	}
+	if a.shape[1] != b.shape[0] {
+		return nil, fmt.Errorf("tensor: MatMul shape mismatch %v × %v", a.shape, b.shape)
+	}
+	c := New(a.shape[0], b.shape[1])
+	MatMulInto(c, a, b)
+	return c, nil
+}
+
+// MatMulInto computes dst = A × B, reusing dst's storage. dst must already
+// have shape m×n. It panics on shape mismatch; it is the hot inner kernel
+// and callers are expected to have validated shapes.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v × %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	ad, bd, cd := a.data, b.data, dst.data
+	for i := range cd {
+		cd[i] = 0
+	}
+	matMulRange(cd, ad, bd, 0, m, k, n)
+}
+
+// matMulRange computes rows [i0,i1) of C += A×B with blocking over k and j.
+func matMulRange(cd, ad, bd []float32, i0, i1, k, n int) {
+	for kk := 0; kk < k; kk += matMulBlock {
+		kmax := kk + matMulBlock
+		if kmax > k {
+			kmax = k
+		}
+		for i := i0; i < i1; i++ {
+			arow := ad[i*k : (i+1)*k]
+			crow := cd[i*n : (i+1)*n]
+			for p := kk; p < kmax; p++ {
+				// No zero-skip: kernel cost must be data-
+				// independent so benchmark timings do not vary
+				// with activation sparsity.
+				av := arow[p]
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// MatMulNaive is a textbook triple loop used as the baseline for the
+// blocked-matmul ablation bench and as a differential-testing oracle.
+func MatMulNaive(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[0] {
+		return nil, fmt.Errorf("tensor: MatMulNaive shape mismatch %v × %v", a.shape, b.shape)
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.data[i*k+p] * b.data[p*n+j]
+			}
+			c.data[i*n+j] = s
+		}
+	}
+	return c, nil
+}
+
+// AddBias adds a length-n bias vector to every row of an m×n tensor in
+// place and returns the tensor.
+func AddBias(t, bias *Tensor) (*Tensor, error) {
+	if t.Rank() != 2 || bias.Rank() != 1 || bias.shape[0] != t.shape[1] {
+		return nil, fmt.Errorf("tensor: AddBias shape mismatch %v + %v", t.shape, bias.shape)
+	}
+	n := t.shape[1]
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += bias.data[j]
+		}
+	}
+	return t, nil
+}
+
+// Add computes element-wise a + b into a new tensor.
+func Add(a, b *Tensor) (*Tensor, error) {
+	if !a.SameShape(b) {
+		return nil, fmt.Errorf("tensor: Add shape mismatch %v + %v", a.shape, b.shape)
+	}
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out, nil
+}
+
+// AddInPlace computes a += b and returns a.
+func AddInPlace(a, b *Tensor) (*Tensor, error) {
+	if !a.SameShape(b) {
+		return nil, fmt.Errorf("tensor: AddInPlace shape mismatch %v + %v", a.shape, b.shape)
+	}
+	for i, v := range b.data {
+		a.data[i] += v
+	}
+	return a, nil
+}
+
+// ReLU applies max(0, x) in place and returns the tensor.
+func ReLU(t *Tensor) *Tensor {
+	for i, v := range t.data {
+		if v < 0 {
+			t.data[i] = 0
+		}
+	}
+	return t
+}
+
+// Softmax applies a numerically-stable softmax over the last dimension of a
+// rank-2 tensor in place and returns it.
+func Softmax(t *Tensor) (*Tensor, error) {
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: Softmax requires rank 2, got %v", t.shape)
+	}
+	n := t.shape[1]
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.data[i*n : (i+1)*n]
+		max := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - max)))
+			row[j] = e
+			sum += float64(e)
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return t, nil
+}
+
+// BatchNorm applies per-channel inference-mode batch normalisation to an
+// NCHW tensor in place: y = gamma*(x-mean)/sqrt(var+eps) + beta.
+func BatchNorm(t, gamma, beta, mean, variance *Tensor, eps float32) (*Tensor, error) {
+	if t.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: BatchNorm requires NCHW rank 4, got %v", t.shape)
+	}
+	c := t.shape[1]
+	if gamma.Len() != c || beta.Len() != c || mean.Len() != c || variance.Len() != c {
+		return nil, fmt.Errorf("tensor: BatchNorm channel mismatch: %d channels", c)
+	}
+	hw := t.shape[2] * t.shape[3]
+	for n := 0; n < t.shape[0]; n++ {
+		for ch := 0; ch < c; ch++ {
+			scale := gamma.data[ch] / float32(math.Sqrt(float64(variance.data[ch]+eps)))
+			shift := beta.data[ch] - mean.data[ch]*scale
+			base := (n*c + ch) * hw
+			seg := t.data[base : base+hw]
+			for i := range seg {
+				seg[i] = seg[i]*scale + shift
+			}
+		}
+	}
+	return t, nil
+}
+
+// Conv2D performs a 2-D convolution on an NCHW input with an OIHW kernel
+// using im2col + the cache-blocked MatMul. Output spatial size is the
+// usual (H + 2*pad - kh)/stride + 1.
+func Conv2D(in, kernel *Tensor, stride, pad int) (*Tensor, error) {
+	return conv2D(in, kernel, stride, pad, nil)
+}
+
+// Conv2DReference is the single-thread reference convolution: im2col plus
+// a textbook i-j-p GEMM with no cache blocking. It is the CPU-device
+// kernel, mirroring the paper's deliberately unoptimised CPU inference
+// configuration (§4.3 pins inter- and intra-operator parallelism to one
+// thread); accelerator devices use the optimised kernel library instead
+// (blocked GEMM, Winograd, folded batch norms).
+func Conv2DReference(in, kernel *Tensor, stride, pad int) (*Tensor, error) {
+	return conv2D(in, kernel, stride, pad, func(cd, ad, bd []float32, m, k, n int) {
+		for i := 0; i < m; i++ {
+			arow := ad[i*k : (i+1)*k]
+			for j := 0; j < n; j++ {
+				var s float32
+				for p, av := range arow {
+					s += av * bd[p*n+j]
+				}
+				cd[i*n+j] = s
+			}
+		}
+	})
+}
+
+// Conv2DParallel is Conv2D with the matmul row range fanned out over the
+// given number of workers; it is used by the GPU device.
+func Conv2DParallel(in, kernel *Tensor, stride, pad, workers int) (*Tensor, error) {
+	return conv2D(in, kernel, stride, pad, func(cd, ad, bd []float32, m, k, n int) {
+		parallelMatMul(cd, ad, bd, m, k, n, workers)
+	})
+}
+
+type matMulFn func(cd, ad, bd []float32, m, k, n int)
+
+func conv2D(in, kernel *Tensor, stride, pad int, mm matMulFn) (*Tensor, error) {
+	if in.Rank() != 4 || kernel.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: Conv2D requires NCHW input and OIHW kernel, got %v, %v", in.shape, kernel.shape)
+	}
+	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	oc, ic, kh, kw := kernel.shape[0], kernel.shape[1], kernel.shape[2], kernel.shape[3]
+	if ic != c {
+		return nil, fmt.Errorf("tensor: Conv2D channel mismatch: input %d, kernel %d", c, ic)
+	}
+	if stride <= 0 {
+		return nil, fmt.Errorf("tensor: Conv2D stride must be positive, got %d", stride)
+	}
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("tensor: Conv2D output would be empty for input %v kernel %v", in.shape, kernel.shape)
+	}
+
+	// im2col: columns matrix is (c*kh*kw) × (oh*ow) per image.
+	colRows := c * kh * kw
+	colCols := oh * ow
+	col := make([]float32, colRows*colCols)
+	out := New(n, oc, oh, ow)
+	kmat := kernel.data // oc × (ic*kh*kw), already contiguous in OIHW.
+
+	for img := 0; img < n; img++ {
+		im2col(in.data[img*c*h*w:(img+1)*c*h*w], col, c, h, w, kh, kw, oh, ow, stride, pad)
+		dst := out.data[img*oc*colCols : (img+1)*oc*colCols]
+		if mm != nil {
+			mm(dst, kmat, col, oc, colRows, colCols)
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
+			matMulRange(dst, kmat, col, 0, oc, colRows, colCols)
+		}
+	}
+	return out, nil
+}
+
+// im2col expands one CHW image into the (c*kh*kw) × (oh*ow) patch matrix.
+func im2col(img, col []float32, c, h, w, kh, kw, oh, ow, stride, pad int) {
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							col[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							col[idx] = 0
+						} else {
+							col[idx] = img[rowBase+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// AddChannelBias adds a per-channel bias to an NCHW tensor in place.
+func AddChannelBias(t, bias *Tensor) (*Tensor, error) {
+	if t.Rank() != 4 || bias.Rank() != 1 || bias.shape[0] != t.shape[1] {
+		return nil, fmt.Errorf("tensor: AddChannelBias shape mismatch %v + %v", t.shape, bias.shape)
+	}
+	hw := t.shape[2] * t.shape[3]
+	c := t.shape[1]
+	for n := 0; n < t.shape[0]; n++ {
+		for ch := 0; ch < c; ch++ {
+			b := bias.data[ch]
+			base := (n*c + ch) * hw
+			seg := t.data[base : base+hw]
+			for i := range seg {
+				seg[i] += b
+			}
+		}
+	}
+	return t, nil
+}
+
+// MaxPool2D applies kxk max pooling with the given stride to an NCHW tensor.
+func MaxPool2D(in *Tensor, k, stride, pad int) (*Tensor, error) {
+	if in.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: MaxPool2D requires NCHW, got %v", in.shape)
+	}
+	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	oh := (h+2*pad-k)/stride + 1
+	ow := (w+2*pad-k)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("tensor: MaxPool2D output would be empty for input %v k=%d", in.shape, k)
+	}
+	out := New(n, c, oh, ow)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			src := in.data[(img*c+ch)*h*w:]
+			dst := out.data[(img*c+ch)*oh*ow:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							if v := src[iy*w+ix]; v > best {
+								best = v
+							}
+						}
+					}
+					dst[oy*ow+ox] = best
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// GlobalAvgPool2D averages each channel of an NCHW tensor to 1×1, returning
+// an n×c rank-2 tensor.
+func GlobalAvgPool2D(in *Tensor) (*Tensor, error) {
+	if in.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: GlobalAvgPool2D requires NCHW, got %v", in.shape)
+	}
+	n, c := in.shape[0], in.shape[1]
+	hw := in.shape[2] * in.shape[3]
+	if hw == 0 {
+		return nil, fmt.Errorf("tensor: GlobalAvgPool2D over empty spatial dims %v", in.shape)
+	}
+	out := New(n, c)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			seg := in.data[(img*c+ch)*hw : (img*c+ch+1)*hw]
+			var s float64
+			for _, v := range seg {
+				s += float64(v)
+			}
+			out.data[img*c+ch] = float32(s / float64(hw))
+		}
+	}
+	return out, nil
+}

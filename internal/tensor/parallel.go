@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// parallelMatMul computes C = A×B splitting the row range of C across
+// workers. cd must be zeroed-or-overwritable; it is reset here.
+func parallelMatMul(cd, ad, bd []float32, m, k, n, workers int) {
+	for i := range cd {
+		cd[i] = 0
+	}
+	if workers <= 1 || m < 2 {
+		matMulRange(cd, ad, bd, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		i1 := i0 + chunk
+		if i1 > m {
+			i1 = m
+		}
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			matMulRange(cd, ad, bd, i0, i1, k, n)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// MatMulParallel computes C = A × B splitting rows of A across the given
+// number of workers. It is the kernel used by the GPU device for dense
+// layers.
+func MatMulParallel(a, b *Tensor, workers int) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: MatMulParallel requires rank-2 operands, got %v × %v", a.shape, b.shape)
+	}
+	if a.shape[1] != b.shape[0] {
+		return nil, fmt.Errorf("tensor: MatMulParallel shape mismatch %v × %v", a.shape, b.shape)
+	}
+	c := New(a.shape[0], b.shape[1])
+	parallelMatMul(c.data, a.data, b.data, a.shape[0], a.shape[1], b.shape[1], workers)
+	return c, nil
+}

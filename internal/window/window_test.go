@@ -1,0 +1,214 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sumWindow(t *testing.T, size, lateness time.Duration) *Tumbling[int, int] {
+	t.Helper()
+	w, err := NewTumbling(size, lateness, func() int { return 0 }, func(acc, v int) int { return acc + v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func at(sec int64) time.Time { return time.Unix(sec, 0) }
+
+func TestTumblingBasic(t *testing.T) {
+	w := sumWindow(t, time.Second, 0)
+	w.Add(at(0), 1)
+	w.Add(at(0).Add(500*time.Millisecond), 2)
+	w.Add(at(1), 10)
+	if w.Open() != 2 {
+		t.Fatalf("open windows %d", w.Open())
+	}
+	out := w.Watermark(at(1))
+	if len(out) != 1 || out[0].Value != 3 || out[0].Count != 2 {
+		t.Fatalf("first close %+v", out)
+	}
+	if !out[0].Start.Equal(at(0)) || !out[0].End.Equal(at(1)) {
+		t.Fatalf("bounds %v-%v", out[0].Start, out[0].End)
+	}
+	out = w.Watermark(at(2))
+	if len(out) != 1 || out[0].Value != 10 {
+		t.Fatalf("second close %+v", out)
+	}
+}
+
+func TestTumblingLateness(t *testing.T) {
+	w := sumWindow(t, time.Second, 500*time.Millisecond)
+	w.Add(at(0), 1)
+	// Watermark at window end: lateness keeps it open.
+	if out := w.Watermark(at(1)); len(out) != 0 {
+		t.Fatalf("window closed before lateness expired: %+v", out)
+	}
+	// A late event inside the lateness horizon still lands.
+	if !w.Add(at(0).Add(900*time.Millisecond), 5) {
+		t.Fatal("in-horizon late event dropped")
+	}
+	out := w.Watermark(at(1).Add(500 * time.Millisecond))
+	if len(out) != 1 || out[0].Value != 6 {
+		t.Fatalf("close with late event: %+v", out)
+	}
+	// Beyond the horizon the event is dropped-late.
+	if w.Add(at(0), 7) {
+		t.Fatal("too-late event accepted")
+	}
+	if w.DroppedLate() != 1 {
+		t.Fatalf("dropped %d", w.DroppedLate())
+	}
+}
+
+func TestTumblingWatermarkMonotone(t *testing.T) {
+	w := sumWindow(t, time.Second, 0)
+	w.Add(at(0), 1)
+	if out := w.Watermark(at(5)); len(out) != 1 {
+		t.Fatalf("close %+v", out)
+	}
+	// A regressing watermark is ignored.
+	w.Add(at(10), 2)
+	if out := w.Watermark(at(3)); out != nil {
+		t.Fatalf("regressed watermark emitted %+v", out)
+	}
+	if out := w.Watermark(at(11)); len(out) != 1 || out[0].Value != 2 {
+		t.Fatalf("after regression %+v", out)
+	}
+}
+
+func TestTumblingFlush(t *testing.T) {
+	w := sumWindow(t, time.Second, 0)
+	w.Add(at(0), 1)
+	w.Add(at(3), 2)
+	out := w.Flush()
+	if len(out) != 2 || out[0].Value != 1 || out[1].Value != 2 {
+		t.Fatalf("flush %+v", out)
+	}
+	if w.Open() != 0 {
+		t.Fatal("flush left windows open")
+	}
+}
+
+func TestTumblingValidation(t *testing.T) {
+	if _, err := NewTumbling[int, int](0, 0, func() int { return 0 }, func(a, v int) int { return a }); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewTumbling[int, int](time.Second, -1, func() int { return 0 }, func(a, v int) int { return a }); err == nil {
+		t.Fatal("negative lateness accepted")
+	}
+	if _, err := NewTumbling[int, int](time.Second, 0, nil, nil); err == nil {
+		t.Fatal("nil funcs accepted")
+	}
+}
+
+func TestTumblingPreEpoch(t *testing.T) {
+	w := sumWindow(t, time.Second, 0)
+	w.Add(time.Unix(-1, 500_000_000), 4) // bucket [-1s, 0)
+	out := w.Watermark(at(0))
+	if len(out) != 1 || out[0].Value != 4 {
+		t.Fatalf("pre-epoch close %+v", out)
+	}
+	if !out[0].Start.Equal(time.Unix(-1, 0)) {
+		t.Fatalf("pre-epoch start %v", out[0].Start)
+	}
+}
+
+func TestTumblingCountConservationProperty(t *testing.T) {
+	// Every accepted event appears in exactly one window; totals add up.
+	f := func(offsets []uint16) bool {
+		w, err := NewTumbling(time.Second, 0, func() int { return 0 }, func(acc, v int) int { return acc + v })
+		if err != nil {
+			return false
+		}
+		accepted := 0
+		for _, off := range offsets {
+			ts := time.Unix(0, int64(off)*int64(10*time.Millisecond))
+			if w.Add(ts, 1) {
+				accepted++
+			}
+		}
+		total := 0
+		for _, r := range w.Flush() {
+			if r.Count != r.Value { // fold adds 1 per event
+				return false
+			}
+			total += r.Count
+		}
+		return total == accepted && accepted == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlidingCoversOverlap(t *testing.T) {
+	s, err := NewSliding(2*time.Second, time.Second, func() int { return 0 }, func(acc, v int) int { return acc + v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An event at t=1.5s belongs to windows [0,2) and [1,3).
+	s.Add(at(1).Add(500*time.Millisecond), 7)
+	out := s.Watermark(at(2))
+	if len(out) != 1 || out[0].Value != 7 || !out[0].Start.Equal(at(0)) {
+		t.Fatalf("first window %+v", out)
+	}
+	out = s.Watermark(at(3))
+	if len(out) != 1 || out[0].Value != 7 || !out[0].Start.Equal(at(1)) {
+		t.Fatalf("second window %+v", out)
+	}
+}
+
+func TestSlidingLateDrop(t *testing.T) {
+	s, err := NewSliding(2*time.Second, time.Second, func() int { return 0 }, func(acc, v int) int { return acc + v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Watermark(at(10))
+	if s.Add(at(1), 1) {
+		t.Fatal("event behind the watermark accepted")
+	}
+	if s.DroppedLate() != 1 {
+		t.Fatalf("dropped %d", s.DroppedLate())
+	}
+}
+
+func TestSlidingValidation(t *testing.T) {
+	mk := func(size, slide time.Duration) error {
+		_, err := NewSliding(size, slide, func() int { return 0 }, func(a, v int) int { return a })
+		return err
+	}
+	if mk(0, time.Second) == nil {
+		t.Fatal("zero size accepted")
+	}
+	if mk(3*time.Second, 2*time.Second) == nil {
+		t.Fatal("non-multiple slide accepted")
+	}
+	if _, err := NewSliding[int, int](time.Second, time.Second, nil, nil); err == nil {
+		t.Fatal("nil funcs accepted")
+	}
+}
+
+func TestSlidingEqualsTumblingWhenSlideEqualsSize(t *testing.T) {
+	s, err := NewSliding(time.Second, time.Second, func() int { return 0 }, func(acc, v int) int { return acc + v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sumWindow(t, time.Second, 0)
+	for i := 0; i < 30; i++ {
+		ts := time.Unix(0, int64(i)*int64(250*time.Millisecond))
+		s.Add(ts, i)
+		w.Add(ts, i)
+	}
+	so := s.Watermark(at(100))
+	wo := w.Watermark(at(100))
+	if len(so) != len(wo) {
+		t.Fatalf("window counts differ: %d vs %d", len(so), len(wo))
+	}
+	for i := range so {
+		if so[i].Value != wo[i].Value || !so[i].Start.Equal(wo[i].Start) {
+			t.Fatalf("window %d differs: %+v vs %+v", i, so[i], wo[i])
+		}
+	}
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Merge the crayfish-bench suite output into EXPERIMENTS.md.
+
+Usage: python3 scripts/mkexperiments.py /tmp/bench_final2.txt
+
+Reads the template EXPERIMENTS.md.in, replaces {{<ID>}} markers with the
+corresponding measured table from the bench output (verbatim, fenced), and
+writes EXPERIMENTS.md.
+"""
+import re
+import sys
+
+
+def parse_blocks(path):
+    text = open(path).read()
+    blocks = {}
+    # Each report starts with "<ID> — <title>" and ends at "(completed in".
+    pattern = re.compile(
+        r"^((?:Table|Figure|Ablation) [A-Z0-9]+) — .*?\n(completed in [^)]*\))?",
+        re.M,
+    )
+    parts = re.split(r"\n\(completed in ([^)]*)\)\n", text)
+    # parts alternates: block text, duration, block text, duration, ...
+    for i in range(0, len(parts) - 1, 2):
+        block = parts[i].strip()
+        duration = parts[i + 1]
+        m = re.match(r"((?:Table|Figure|Ablation) [A-Za-z0-9]+) —", block)
+        if not m:
+            continue
+        blocks[m.group(1)] = (block, duration)
+    return blocks
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    blocks = parse_blocks(sys.argv[1])
+    template = open("EXPERIMENTS.md.in").read()
+
+    def sub(match):
+        key = match.group(1)
+        if key not in blocks:
+            sys.exit(f"missing measured block for {key!r}; have {sorted(blocks)}")
+        block, duration = blocks[key]
+        return f"```\n{block}\n```\n*(measured in {duration} at this scale)*"
+
+    out = re.sub(r"\{\{([^}]+)\}\}", sub, template)
+    open("EXPERIMENTS.md", "w").write(out)
+    print(f"wrote EXPERIMENTS.md with {len(blocks)} measured blocks")
+
+
+if __name__ == "__main__":
+    main()
