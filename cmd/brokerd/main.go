@@ -9,6 +9,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -19,15 +22,46 @@ import (
 	"crayfish"
 )
 
+// serveMetrics exposes a /metrics JSON snapshot plus the net/http/pprof
+// profiling endpoints on addr, returning the bound address. Shared by
+// brokerd and modelserver via copy (cmd packages stay self-contained).
+func serveMetrics(addr string, reg *crayfish.TelemetryRegistry) (string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", crayfish.TelemetryHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
+
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:9092", "listen address")
-		topics = flag.String("topics", "", "topics to pre-create, as name:partitions[,name:partitions...]")
-		lanMs  = flag.Float64("lan-latency-ms", 0, "injected per-operation LAN latency in milliseconds (0 = off)")
+		addr        = flag.String("addr", "127.0.0.1:9092", "listen address")
+		topics      = flag.String("topics", "", "topics to pre-create, as name:partitions[,name:partitions...]")
+		lanMs       = flag.Float64("lan-latency-ms", 0, "injected per-operation LAN latency in milliseconds (0 = off)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (JSON telemetry) and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
-	b := crayfish.NewBroker()
+	var b *crayfish.Broker
+	if *metricsAddr != "" {
+		reg := crayfish.NewTelemetry()
+		b = crayfish.NewBrokerTelemetry(reg)
+		bound, err := serveMetrics(*metricsAddr, reg)
+		if err != nil {
+			fatalf("metrics listener: %v", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof)\n", bound)
+	} else {
+		b = crayfish.NewBroker()
+	}
 	_ = lanMs // the in-daemon broker already sits behind real TCP; keep flag for symmetry
 	if *topics != "" {
 		for _, spec := range strings.Split(*topics, ",") {

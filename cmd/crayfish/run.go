@@ -31,6 +31,7 @@ func run() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		dataset  = flag.String("dataset", "", "path to a Crayfish dataset file (default: synthetic generator)")
 		csvOut   = flag.String("samples-csv", "", "write per-batch samples to this CSV file")
+		telEvery = flag.Duration("telemetry-interval", 0, "print live per-stage telemetry snapshots at this interval (0 = off); see docs/OBSERVABILITY.md")
 	)
 	flag.Parse()
 
@@ -73,6 +74,11 @@ func run() {
 	if *lan {
 		cfg.Network = crayfish.LAN
 	}
+	if *telEvery > 0 {
+		cfg.Telemetry = crayfish.NewTelemetry()
+		stop := crayfish.DumpTelemetry(os.Stdout, cfg.Telemetry, *telEvery)
+		defer stop()
+	}
 
 	var res *crayfish.Result
 	var err error
@@ -99,6 +105,10 @@ func run() {
 	fmt.Print(crayfish.FormatMetrics(res.Metrics))
 	if res.Duplicates > 0 {
 		fmt.Printf("duplicates: %d\n", res.Duplicates)
+	}
+	if res.Telemetry != nil {
+		fmt.Println("--- final telemetry ---")
+		fmt.Print(res.Telemetry.Format())
 	}
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)

@@ -11,6 +11,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -18,15 +21,34 @@ import (
 	"crayfish"
 )
 
+// serveMetrics exposes a /metrics JSON snapshot plus the net/http/pprof
+// profiling endpoints on addr, returning the bound address.
+func serveMetrics(addr string, reg *crayfish.TelemetryRegistry) (string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", crayfish.TelemetryHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
+
 func main() {
 	var (
-		tool    = flag.String("tool", "tf-serving", "framework: tf-serving, torchserve, ray-serve")
-		modelN  = flag.String("model", "ffnn", "model to serve: ffnn, resnet, resnet50")
-		file    = flag.String("model-file", "", "serve a stored model file instead (format auto-detected; see modelctl)")
-		workers = flag.Int("workers", 1, "inference pool size (threads/processes/replicas)")
-		device  = flag.String("device", "cpu", "inference device: cpu or gpu")
-		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
-		lan     = flag.Bool("lan", false, "inject the paper's modelled LAN in front of the daemon")
+		tool        = flag.String("tool", "tf-serving", "framework: tf-serving, torchserve, ray-serve")
+		modelN      = flag.String("model", "ffnn", "model to serve: ffnn, resnet, resnet50")
+		file        = flag.String("model-file", "", "serve a stored model file instead (format auto-detected; see modelctl)")
+		workers     = flag.Int("workers", 1, "inference pool size (threads/processes/replicas)")
+		device      = flag.String("device", "cpu", "inference device: cpu or gpu")
+		addr        = flag.String("addr", "127.0.0.1:0", "listen address")
+		lan         = flag.Bool("lan", false, "inject the paper's modelled LAN in front of the daemon")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (JSON telemetry) and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -49,6 +71,15 @@ func main() {
 	}
 	if *lan {
 		cfg.Network = crayfish.LAN
+	}
+	if *metricsAddr != "" {
+		cfg.Telemetry = crayfish.NewTelemetry()
+		bound, err := serveMetrics(*metricsAddr, cfg.Telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelserver: metrics listener: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof)\n", bound)
 	}
 	srv, err := crayfish.StartServingDaemon(cfg)
 	if err != nil {

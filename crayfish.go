@@ -33,7 +33,9 @@ package crayfish
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"time"
 
 	"crayfish/internal/broker"
 	"crayfish/internal/core"
@@ -43,6 +45,7 @@ import (
 	"crayfish/internal/netsim"
 	"crayfish/internal/serving/external"
 	"crayfish/internal/sps"
+	"crayfish/internal/telemetry"
 
 	// Register the four stream-processing engines.
 	_ "crayfish/internal/sps/flink"
@@ -78,6 +81,12 @@ type (
 	DataBatch = core.DataBatch
 	// NetworkProfile models an inter-machine link.
 	NetworkProfile = netsim.Profile
+	// TelemetryRegistry collects live per-stage metrics during a run;
+	// attach one via Config.Telemetry. See docs/OBSERVABILITY.md.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of every metric,
+	// returned in Result.Telemetry.
+	TelemetrySnapshot = telemetry.Snapshot
 )
 
 // Serving modes.
@@ -95,6 +104,24 @@ var LAN = netsim.LAN
 func Run(cfg Config) (*Result, error) {
 	return (&Runner{}).Run(cfg)
 }
+
+// NewTelemetry creates a live-metrics registry to attach to
+// Config.Telemetry (runs), NewBrokerTelemetry (broker daemons), or
+// ServingDaemonConfig.Telemetry (serving daemons). The metric names it
+// fills are documented in docs/OBSERVABILITY.md.
+func NewTelemetry() *TelemetryRegistry { return telemetry.New() }
+
+// DumpTelemetry starts a goroutine printing a snapshot of reg to w every
+// interval, with per-counter rates between snapshots. The returned stop
+// function halts it; both are inert when reg is nil or interval is not
+// positive.
+func DumpTelemetry(w io.Writer, reg *TelemetryRegistry, interval time.Duration) (stop func()) {
+	return telemetry.Dump(w, reg, interval)
+}
+
+// TelemetryHandler serves JSON snapshots of reg over HTTP — the /metrics
+// endpoint of brokerd and modelserver.
+func TelemetryHandler(reg *TelemetryRegistry) http.Handler { return telemetry.Handler(reg) }
 
 // SaveModel materialises a model and writes it to path in the given
 // storage format ("onnx", "savedmodel", "torch", "h5").
@@ -196,6 +223,9 @@ type ServingDaemonConfig struct {
 	Addr string
 	// Network injects a modelled link in front of the daemon.
 	Network NetworkProfile
+	// Telemetry, when set, collects server-side serving.server.* metrics
+	// (modelserver exposes them on /metrics).
+	Telemetry *TelemetryRegistry
 }
 
 // StartServingDaemon launches an external serving daemon, serving the
@@ -225,12 +255,21 @@ func StartServingDaemon(cfg ServingDaemonConfig) (ServingDaemon, error) {
 		Device:     dev,
 		Addr:       cfg.Addr,
 		Network:    cfg.Network,
+		Metrics:    cfg.Telemetry,
 	})
 }
 
 // NewBroker creates a message broker with the paper's defaults (50 MB max
 // request size).
 func NewBroker() *Broker { return broker.New(broker.DefaultConfig()) }
+
+// NewBrokerTelemetry is NewBroker with live broker.* metrics feeding reg
+// (brokerd exposes them on /metrics).
+func NewBrokerTelemetry(reg *TelemetryRegistry) *Broker {
+	cfg := broker.DefaultConfig()
+	cfg.Metrics = reg
+	return broker.New(cfg)
+}
 
 // ServeBroker exposes a broker on a TCP address ("127.0.0.1:0" picks a
 // free port).

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"crayfish/internal/netsim"
+	"crayfish/internal/telemetry"
 )
 
 // Errors returned by broker operations.
@@ -42,6 +43,10 @@ type Config struct {
 	// keeps everything (the experiments' default — runs are short and
 	// discard the broker wholesale).
 	RetentionRecords int
+	// Metrics publishes live broker telemetry (append/fetch counts and
+	// per-topic backlog gauges; see docs/OBSERVABILITY.md) into the
+	// given registry. Nil disables instrumentation at near-zero cost.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig mirrors the paper's broker settings.
@@ -52,6 +57,13 @@ func DefaultConfig() Config {
 // Broker is an in-process message broker instance.
 type Broker struct {
 	cfg Config
+
+	// Metric handles, resolved once at construction (nil when telemetry
+	// is disabled; recording through nil handles is a no-op).
+	mAppendRecords *telemetry.Counter
+	mAppendBytes   *telemetry.Counter
+	mFetchRecords  *telemetry.Counter
+	mFetchBytes    *telemetry.Counter
 
 	mu     sync.RWMutex
 	topics map[string]*topic
@@ -68,9 +80,13 @@ func New(cfg Config) *Broker {
 		cfg.Clock = time.Now
 	}
 	return &Broker{
-		cfg:    cfg,
-		topics: make(map[string]*topic),
-		groups: make(map[string]*group),
+		cfg:            cfg,
+		mAppendRecords: cfg.Metrics.Counter("broker.append.records"),
+		mAppendBytes:   cfg.Metrics.Counter("broker.append.bytes"),
+		mFetchRecords:  cfg.Metrics.Counter("broker.fetch.records"),
+		mFetchBytes:    cfg.Metrics.Counter("broker.fetch.bytes"),
+		topics:         make(map[string]*topic),
+		groups:         make(map[string]*group),
 	}
 }
 
@@ -87,7 +103,9 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 	if _, ok := b.topics[name]; ok {
 		return fmt.Errorf("%w: %q", ErrTopicExists, name)
 	}
-	b.topics[name] = newTopic(name, partitions, b.cfg.RetentionRecords)
+	t := newTopic(name, partitions, b.cfg.RetentionRecords)
+	t.backlog = b.cfg.Metrics.Gauge("broker.backlog." + name)
+	b.topics[name] = t
 	return nil
 }
 
@@ -174,7 +192,37 @@ func (b *Broker) Produce(topicName string, partition int, recs []Record) (int64,
 		}
 		b.cfg.Network.Apply(bytes)
 	}
-	return t.parts[partition].append(recs, b.cfg.Clock), nil
+	base := t.parts[partition].append(recs, b.cfg.Clock)
+	b.countAppend(t, recs)
+	return base, nil
+}
+
+// countAppend and countFetch publish live log-traffic telemetry; both
+// are no-ops when the broker was built without a metrics registry.
+func (b *Broker) countAppend(t *topic, recs []Record) {
+	if b.mAppendRecords == nil {
+		return
+	}
+	bytes := 0
+	for i := range recs {
+		bytes += len(recs[i].Value) + len(recs[i].Key)
+	}
+	b.mAppendRecords.Add(int64(len(recs)))
+	b.mAppendBytes.Add(int64(bytes))
+	t.backlog.Add(int64(len(recs)))
+}
+
+func (b *Broker) countFetch(t *topic, recs []Record) {
+	if b.mFetchRecords == nil || len(recs) == 0 {
+		return
+	}
+	bytes := 0
+	for i := range recs {
+		bytes += len(recs[i].Value) + len(recs[i].Key)
+	}
+	b.mFetchRecords.Add(int64(len(recs)))
+	b.mFetchBytes.Add(int64(bytes))
+	t.backlog.Add(-int64(len(recs)))
 }
 
 // Fetch reads up to maxRecords from a topic partition starting at offset.
@@ -188,12 +236,15 @@ func (b *Broker) Fetch(topicName string, partition int, offset int64, maxRecords
 		return nil, fmt.Errorf("%w: %s/%d", ErrUnknownPartition, topicName, partition)
 	}
 	recs, err := t.parts[partition].fetch(offset, maxRecords)
-	if err == nil && b.cfg.Network.Enabled() {
-		bytes := 0
-		for i := range recs {
-			bytes += len(recs[i].Value) + len(recs[i].Key)
+	if err == nil {
+		if b.cfg.Network.Enabled() {
+			bytes := 0
+			for i := range recs {
+				bytes += len(recs[i].Value) + len(recs[i].Key)
+			}
+			b.cfg.Network.Apply(bytes)
 		}
-		b.cfg.Network.Apply(bytes)
+		b.countFetch(t, recs)
 	}
 	return recs, err
 }
@@ -239,6 +290,7 @@ func (b *Broker) FetchMulti(topicName string, reqs []FetchRequest, maxTotal int)
 		}
 		b.cfg.Network.Apply(bytes)
 	}
+	b.countFetch(t, out)
 	return out, nil
 }
 
@@ -268,10 +320,14 @@ func (b *Broker) StartOffset(topicName string, partition int) (int64, error) {
 	return t.parts[partition].startOffset(), nil
 }
 
-// topic is a named set of partitions.
+// topic is a named set of partitions. backlog tracks appended-minus-
+// fetched records as a live queue-depth proxy: exact while each record
+// is fetched once (the Crayfish pipeline reads every topic through a
+// single consuming side), an overestimate under re-reads.
 type topic struct {
-	name  string
-	parts []*partition
+	name    string
+	parts   []*partition
+	backlog *telemetry.Gauge
 }
 
 func newTopic(name string, n, retention int) *topic {

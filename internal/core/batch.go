@@ -4,6 +4,16 @@
 // extracts end-to-end latencies from broker append timestamps, the metrics
 // analyzer, and the experiment runner that wires a broker, a stream
 // processor, and a serving tool into a system under test.
+//
+// Concurrency contract: a Runner is safe for sequential runs only — each
+// Run call owns its producer, consumer, and (by default) broker, so
+// concurrent runs must use separate Runner values or a shared remote
+// transport. InputProducer.Run and OutputConsumer.Run are single-goroutine
+// loops; their Metrics field must be set before Run starts. Results and
+// Metrics values are plain data, safe to read from any goroutine once
+// returned. Live instrumentation (Config.Telemetry) is safe for
+// concurrent recording from every pipeline stage; see
+// docs/OBSERVABILITY.md for the metric contract.
 package core
 
 import (

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"crayfish/internal/netsim"
+	"crayfish/internal/telemetry"
 )
 
 // Workload carries the Table 1 configuration parameters.
@@ -104,6 +105,12 @@ type Config struct {
 	// KeepSamples retains per-batch samples in the result (needed for
 	// burst-recovery analysis); aggregates are always computed.
 	KeepSamples bool
+	// Telemetry, when set, collects live per-stage metrics (producer,
+	// broker, SPS operators, scorer, consumer) into the registry while
+	// the run executes; the final snapshot lands in Result.Telemetry.
+	// See docs/OBSERVABILITY.md for the metric contract. Nil keeps
+	// instrumentation disabled at near-zero cost.
+	Telemetry *telemetry.Registry `json:"-"`
 }
 
 // ServingMode distinguishes embedded from external serving.

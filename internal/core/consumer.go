@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"crayfish/internal/broker"
+	"crayfish/internal/telemetry"
 )
 
 // Sample is one end-to-end measurement: a scored batch with its start
@@ -25,6 +26,14 @@ type Sample struct {
 type OutputConsumer struct {
 	codec    BatchCodec
 	consumer *broker.Consumer
+
+	// Metrics, when set before Run, publishes live end-to-end telemetry
+	// (consumer.*; see docs/OBSERVABILITY.md).
+	Metrics *telemetry.Registry
+
+	mSamples *telemetry.Counter
+	mDupes   *telemetry.Counter
+	mE2E     *telemetry.Histogram
 
 	mu      sync.Mutex
 	samples []Sample
@@ -47,6 +56,9 @@ func NewOutputConsumer(t broker.Transport, topic string, codec BatchCodec) (*Out
 // Run polls the output topic until stop closes, then drains whatever is
 // left and returns.
 func (oc *OutputConsumer) Run(stop <-chan struct{}) error {
+	oc.mSamples = oc.Metrics.Counter("consumer.samples")
+	oc.mDupes = oc.Metrics.Counter("consumer.duplicates")
+	oc.mE2E = oc.Metrics.Histogram("consumer.e2e_latency_ns")
 	for {
 		select {
 		case <-stop:
@@ -96,16 +108,20 @@ func (oc *OutputConsumer) record(b *DataBatch, end time.Time) {
 	defer oc.mu.Unlock()
 	if oc.decoded[b.ID] {
 		oc.dupes++
+		oc.mDupes.Inc()
 		return
 	}
 	oc.decoded[b.ID] = true
 	start := b.Created()
+	lat := end.Sub(start)
 	oc.samples = append(oc.samples, Sample{
 		ID:      b.ID,
 		Start:   start,
 		End:     end,
-		Latency: end.Sub(start),
+		Latency: lat,
 	})
+	oc.mSamples.Inc()
+	oc.mE2E.Record(int64(lat))
 }
 
 // Samples returns the collected measurements in arrival order.

@@ -33,9 +33,15 @@ type Metrics struct {
 }
 
 // Analyze computes metrics from samples, discarding the leading
-// warmupFraction (the paper discards the first 25%).
+// warmupFraction (the paper discards the first 25%). The fraction must
+// lie in [0,1): discarding every sample leaves nothing to measure, so a
+// fraction of 1 or more is a configuration error, not a request for a
+// one-sample window.
 func Analyze(samples []Sample, produced int, warmupFraction float64) (Metrics, error) {
 	m := Metrics{Produced: produced, Consumed: len(samples)}
+	if warmupFraction < 0 || warmupFraction >= 1 {
+		return m, fmt.Errorf("core: warmup fraction %v out of [0,1)", warmupFraction)
+	}
 	if len(samples) == 0 {
 		return m, fmt.Errorf("core: no samples to analyze")
 	}
@@ -43,7 +49,9 @@ func Analyze(samples []Sample, produced int, warmupFraction float64) (Metrics, e
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].End.Before(ordered[j].End) })
 	warm := int(float64(len(ordered)) * warmupFraction)
 	if warm >= len(ordered) {
-		warm = len(ordered) - 1
+		// Unreachable for fractions in [0,1), but guard against float
+		// rounding ever producing an empty measurement window.
+		return m, fmt.Errorf("core: warmup fraction %v discards all %d samples", warmupFraction, len(ordered))
 	}
 	m.Warmup = warm
 	window := ordered[warm:]

@@ -61,6 +61,44 @@ func TestAnalyzeEmpty(t *testing.T) {
 	}
 }
 
+func TestAnalyzeWarmupFractionValidation(t *testing.T) {
+	samples := mkSamples(10, time.Millisecond, time.Millisecond)
+	cases := []struct {
+		name     string
+		samples  []Sample
+		fraction float64
+		wantErr  bool
+		warmup   int
+	}{
+		{name: "all-warmup fraction 1", samples: samples, fraction: 1, wantErr: true},
+		{name: "fraction above 1", samples: samples, fraction: 1.5, wantErr: true},
+		{name: "negative fraction", samples: samples, fraction: -0.1, wantErr: true},
+		{name: "empty window and bad fraction", samples: nil, fraction: 1, wantErr: true},
+		{name: "near-1 fraction keeps a sample", samples: samples, fraction: 0.95, warmup: 9},
+		{name: "zero fraction keeps everything", samples: samples, fraction: 0, warmup: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Analyze(tc.samples, len(tc.samples), tc.fraction)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Analyze(fraction=%v) succeeded, want error", tc.fraction)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Warmup != tc.warmup {
+				t.Fatalf("warmup %d, want %d", m.Warmup, tc.warmup)
+			}
+			if m.Consumed-m.Warmup < 1 {
+				t.Fatalf("empty measurement window: %+v", m)
+			}
+		})
+	}
+}
+
 func TestAnalyzeSingleSample(t *testing.T) {
 	m, err := Analyze(mkSamples(1, time.Millisecond, time.Millisecond), 1, 0.25)
 	if err != nil {

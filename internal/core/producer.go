@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crayfish/internal/broker"
+	"crayfish/internal/telemetry"
 )
 
 // InputProducer is the Crayfish input workload producer (§3.1): it
@@ -18,6 +19,10 @@ type InputProducer struct {
 	codec   BatchCodec
 	prod    *broker.Producer
 	dataset *Dataset
+
+	// Metrics, when set before Run, publishes live producer telemetry
+	// (producer.*; see docs/OBSERVABILITY.md).
+	Metrics *telemetry.Registry
 
 	mu       sync.Mutex
 	produced int
@@ -74,6 +79,10 @@ func (p *InputProducer) Run(stop <-chan struct{}) (int, error) {
 	// linger bounds how long a pending batch may age before it is sent
 	// even if not full, like Kafka's linger.ms ceiling.
 	const linger = 5 * time.Millisecond
+	mEvents := p.Metrics.Counter("producer.events")
+	mBytes := p.Metrics.Counter("producer.bytes")
+	mBatches := p.Metrics.Counter("producer.batches")
+	mLag := p.Metrics.Gauge("producer.lag_ns")
 	lastFlush := time.Now()
 	pending := make([]broker.Record, 0, batchCap)
 	flush := func() error {
@@ -81,9 +90,16 @@ func (p *InputProducer) Run(stop <-chan struct{}) (int, error) {
 		if len(pending) == 0 {
 			return nil
 		}
+		bytes := 0
+		for i := range pending {
+			bytes += len(pending[i].Value)
+		}
 		if _, _, err := p.prod.SendBatch(pending); err != nil {
 			return fmt.Errorf("core: producer: %w", err)
 		}
+		mEvents.Add(int64(len(pending)))
+		mBytes.Add(int64(bytes))
+		mBatches.Inc()
 		p.mu.Lock()
 		p.produced += len(pending)
 		p.mu.Unlock()
@@ -135,9 +151,17 @@ func (p *InputProducer) Run(stop <-chan struct{}) (int, error) {
 			// behind the wall clock; cap the debt at one second of
 			// catch-up so a pathological stall does not turn into
 			// an unbounded flood.
-			if lag := time.Since(next); lag > time.Second {
+			lag := time.Since(next)
+			if lag > time.Second {
 				next = time.Now().Add(-time.Second)
 			}
+			// How far the open-loop generator trails its schedule —
+			// nonzero means the producer (not the SUT) is the
+			// bottleneck at this offered rate.
+			if lag < 0 {
+				lag = 0
+			}
+			mLag.Set(int64(lag))
 		}
 		batch := gen.next(id)
 		value, err := p.codec.Marshal(batch)

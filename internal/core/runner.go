@@ -10,6 +10,7 @@ import (
 	"crayfish/internal/broker"
 	"crayfish/internal/serving"
 	"crayfish/internal/sps"
+	"crayfish/internal/telemetry"
 )
 
 // runSeq disambiguates consumer groups when several runs share a broker.
@@ -40,6 +41,10 @@ type Result struct {
 	// EngineErr carries any asynchronous SUT error (the run still
 	// reports whatever was measured).
 	EngineErr error
+	// Telemetry is the final live-metrics snapshot when the run was
+	// configured with a telemetry registry (Config.Telemetry), nil
+	// otherwise. See docs/OBSERVABILITY.md for the metric contract.
+	Telemetry *telemetry.Snapshot
 }
 
 // Runner executes experiments. The zero value runs on a private
@@ -92,11 +97,17 @@ func (r *Runner) runWithScorer(cfg Config, scorer serving.Scorer) (*Result, erro
 	if codec == nil {
 		codec = JSONCodec{}
 	}
+	// Scorer-stage telemetry wraps here so every serving mode — embedded
+	// runtime or external client — reports through the same metrics.
+	scorer = serving.Instrument(scorer, cfg.Telemetry)
 
 	transport := r.Transport
 	if transport == nil {
 		bcfg := broker.DefaultConfig()
 		bcfg.Network = cfg.Network
+		// A private broker joins the run's registry; a shared remote
+		// broker daemon reports through its own (brokerd -metrics-addr).
+		bcfg.Metrics = cfg.Telemetry
 		transport = broker.New(bcfg)
 	}
 	// Topic setup is idempotent: a shared broker daemon may have been
@@ -135,6 +146,7 @@ func (r *Runner) runWithScorer(cfg Config, scorer serving.Scorer) (*Result, erro
 			Source:  cfg.SourceParallelism,
 			Sink:    cfg.SinkParallelism,
 		},
+		Metrics: cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -145,6 +157,7 @@ func (r *Runner) runWithScorer(cfg Config, scorer serving.Scorer) (*Result, erro
 		job.Stop()
 		return nil, err
 	}
+	oc.Metrics = cfg.Telemetry
 	consumerStop := make(chan struct{})
 	consumerDone := make(chan error, 1)
 	go func() { consumerDone <- oc.Run(consumerStop) }()
@@ -156,6 +169,7 @@ func (r *Runner) runWithScorer(cfg Config, scorer serving.Scorer) (*Result, erro
 		<-consumerDone
 		return nil, err
 	}
+	producer.Metrics = cfg.Telemetry
 
 	runStart := time.Now()
 	produced, prodErr := producer.Run(nil)
@@ -199,6 +213,9 @@ func (r *Runner) runWithScorer(cfg Config, scorer serving.Scorer) (*Result, erro
 	}
 	if cfg.KeepSamples {
 		res.Samples = samples
+	}
+	if cfg.Telemetry != nil {
+		res.Telemetry = cfg.Telemetry.Snapshot()
 	}
 	return res, nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"crayfish/internal/serving"
 )
 
 // RunStandalone executes the Figure 13 baseline: a self-contained
@@ -28,7 +30,7 @@ func RunStandalone(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer cleanup()
-	transform := MakeTransform(codec, scorer)
+	transform := MakeTransform(codec, serving.Instrument(scorer, cfg.Telemetry))
 
 	type item struct{ value []byte }
 	pipe := make(chan item, 64)
@@ -101,6 +103,9 @@ func RunStandalone(cfg Config) (*Result, error) {
 	res := &Result{Config: cfg, Metrics: metrics, RunStart: runStart}
 	if cfg.KeepSamples {
 		res.Samples = collected
+	}
+	if cfg.Telemetry != nil {
+		res.Telemetry = cfg.Telemetry.Snapshot()
 	}
 	return res, nil
 }

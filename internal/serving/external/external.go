@@ -19,12 +19,14 @@ package external
 
 import (
 	"fmt"
+	"time"
 
 	"crayfish/internal/gpu"
 	"crayfish/internal/model"
 	"crayfish/internal/modelfmt"
 	"crayfish/internal/netsim"
 	"crayfish/internal/serving"
+	"crayfish/internal/telemetry"
 )
 
 // Kind selects an external serving framework.
@@ -81,6 +83,27 @@ type Config struct {
 	// shrinks it back to Workers when the queue drains. Zero disables
 	// autoscaling (the paper's experiments scale replicas manually).
 	AutoscaleMax int
+	// Metrics publishes server-side request telemetry
+	// (serving.server.*; see docs/OBSERVABILITY.md) into the given
+	// registry — the feed behind modelserver's /metrics endpoint. Nil
+	// disables instrumentation.
+	Metrics *telemetry.Registry
+}
+
+// recordServed publishes one served request into the daemon's registry:
+// request/error counts, the decoded batch size (points per request), and
+// whole-request latency including queueing. No-op on a nil registry.
+func recordServed(reg *telemetry.Registry, n int, start time.Time, err error) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("serving.server.requests").Inc()
+	reg.Histogram("serving.server.latency_ns").RecordSince(start)
+	if err != nil {
+		reg.Counter("serving.server.errors").Inc()
+		return
+	}
+	reg.Histogram("serving.server.batch_size").Record(int64(n))
 }
 
 // Server is a running serving daemon.

@@ -193,6 +193,8 @@ func (s *rayServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	start := time.Now()
+	served := func(n int, err error) { recordServed(s.cfg.Metrics, n, start, err) }
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -211,6 +213,7 @@ func (s *rayServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	var req rayRequest
 	if err := json.Unmarshal(body, &req); err != nil {
+		served(0, err)
 		writeRayError(w, http.StatusBadRequest, fmt.Sprintf("ray-serve: bad request: %v", err))
 		return
 	}
@@ -218,19 +221,23 @@ func (s *rayServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.proxyCh <- job:
 	default:
+		served(req.N, fmt.Errorf("ray-serve: proxy queue full"))
 		writeRayError(w, http.StatusServiceUnavailable, "ray-serve: proxy queue full")
 		return
 	}
 	res := <-job.done
 	if res.err != nil {
+		served(req.N, res.err)
 		writeRayError(w, http.StatusInternalServerError, res.err.Error())
 		return
 	}
 	resp, err := json.Marshal(rayResponse{Predictions: res.out})
 	if err != nil {
+		served(req.N, err)
 		writeRayError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	served(req.N, nil)
 	s.cfg.Network.Apply(len(resp))
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(resp)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"crayfish/internal/grpcish"
 	"crayfish/internal/model"
@@ -96,7 +97,10 @@ func (s *tfServer) predict(req []byte) ([]byte, error) {
 }
 
 // predictWith scores a batch payload against one deployed version.
-func (s *tfServer) predictWith(tv *tfVersion, req []byte) ([]byte, error) {
+func (s *tfServer) predictWith(tv *tfVersion, req []byte) (resp []byte, err error) {
+	start := time.Now()
+	n := 0
+	defer func() { recordServed(s.cfg.Metrics, n, start, err) }()
 	s.cfg.Network.Apply(len(req))
 	inputs, n, err := serving.DecodeBatch(req)
 	if err != nil {
@@ -116,7 +120,7 @@ func (s *tfServer) predictWith(tv *tfVersion, req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tf-serving: %w", err)
 	}
-	resp := serving.EncodeBatch(out, n)
+	resp = serving.EncodeBatch(out, n)
 	s.cfg.Network.Apply(len(resp))
 	return resp, nil
 }

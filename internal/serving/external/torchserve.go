@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"crayfish/internal/grpcish"
 	"crayfish/internal/model"
@@ -193,8 +194,11 @@ func (s *torchServer) handle(payload []byte) ([]byte, error) {
 	return serving.EncodeBatch(final, n), nil
 }
 
-// predict enqueues a request for a worker process and waits.
+// predict enqueues a request for a worker process and waits. The served
+// latency telemetry spans the whole stay — queueing for a free worker
+// plus the handler — which is what a caller of the daemon observes.
 func (s *torchServer) predict(req []byte) ([]byte, error) {
+	start := time.Now()
 	s.cfg.Network.Apply(len(req))
 	job := &torchJob{payload: req, done: make(chan torchResult, 1)}
 	s.jobs <- job
@@ -202,6 +206,9 @@ func (s *torchServer) predict(req []byte) ([]byte, error) {
 	if res.err == nil {
 		s.cfg.Network.Apply(len(res.resp))
 	}
+	// The batch size is recoverable from the request header cheaply.
+	n, _ := serving.DecodeBatchHeader(req)
+	recordServed(s.cfg.Metrics, n, start, res.err)
 	return res.resp, res.err
 }
 

@@ -1,0 +1,58 @@
+package serving
+
+import (
+	"time"
+
+	"crayfish/internal/telemetry"
+)
+
+// instrumentedScorer wraps a Scorer with live telemetry. It forwards
+// every Scorer method and records per-call batch size and latency, so
+// the scoring stage is observable regardless of which runtime or
+// external client sits underneath.
+type instrumentedScorer struct {
+	Scorer
+	calls   *telemetry.Counter
+	errors  *telemetry.Counter
+	points  *telemetry.Counter
+	batches *telemetry.Histogram
+	latency *telemetry.Histogram
+}
+
+// Instrument wraps s with serving.score.* metrics (see
+// docs/OBSERVABILITY.md). A nil registry returns s unchanged, keeping
+// the disabled path allocation- and indirection-free. The wrapper is
+// safe for concurrent use whenever s is, as the Scorer contract already
+// requires.
+func Instrument(s Scorer, reg *telemetry.Registry) Scorer {
+	if reg == nil || s == nil {
+		return s
+	}
+	return &instrumentedScorer{
+		Scorer:  s,
+		calls:   reg.Counter("serving.score.calls"),
+		errors:  reg.Counter("serving.score.errors"),
+		points:  reg.Counter("serving.score.points"),
+		batches: reg.Histogram("serving.score.batch_size"),
+		latency: reg.Histogram("serving.score.latency_ns"),
+	}
+}
+
+// Score implements Scorer, recording telemetry around the wrapped call.
+func (i *instrumentedScorer) Score(inputs []float32, n int) ([]float32, error) {
+	start := time.Now()
+	out, err := i.Scorer.Score(inputs, n)
+	i.latency.RecordSince(start)
+	i.calls.Inc()
+	i.batches.Record(int64(n))
+	if err != nil {
+		i.errors.Inc()
+	} else {
+		i.points.Add(int64(n))
+	}
+	return out, err
+}
+
+// Unwrap returns the underlying Scorer, letting callers that need the
+// concrete runtime (e.g. to Close it) reach through the wrapper.
+func (i *instrumentedScorer) Unwrap() Scorer { return i.Scorer }

@@ -3,6 +3,13 @@
 // apply (score a batch). Embedded runtimes and external-serving clients
 // both satisfy the Scorer interface, so stream processors are agnostic to
 // where inference actually runs.
+//
+// Concurrency contract: Score must be safe for concurrent use — stream
+// processors call it from mp parallel operator instances — while Load
+// happens once, before any Score, so implementations need not guard
+// model state against reload races. The Instrument wrapper preserves
+// this contract and adds lock-free serving.score.* telemetry (see
+// docs/OBSERVABILITY.md).
 package serving
 
 import (
@@ -52,6 +59,19 @@ func EncodeBatch(inputs []float32, n int) []byte {
 		binary.LittleEndian.PutUint32(out[4+4*i:], math.Float32bits(v))
 	}
 	return out
+}
+
+// DecodeBatchHeader reads only the batch count from an EncodeBatch
+// payload, without copying the values — cheap enough for telemetry.
+func DecodeBatchHeader(data []byte) (n int, err error) {
+	if len(data) < 4 {
+		return 0, fmt.Errorf("serving: malformed batch payload of %d bytes", len(data))
+	}
+	n = int(binary.LittleEndian.Uint32(data))
+	if n < 0 {
+		return 0, fmt.Errorf("serving: negative batch count")
+	}
+	return n, nil
 }
 
 // DecodeBatch parses an EncodeBatch payload.

@@ -184,6 +184,7 @@ func (j *job) chainedSlot(consumer *broker.Consumer, producer *broker.Producer) 
 	if max <= 0 {
 		max = j.e.ChannelDepth
 	}
+	stages := j.spec.Stages()
 
 	var mu sync.Mutex // guards sinkBuf in async mode
 	var sinkBuf []broker.Record
@@ -197,7 +198,9 @@ func (j *job) chainedSlot(consumer *broker.Consumer, producer *broker.Producer) 
 		}
 		if _, _, err := producer.SendBatch(batch); err != nil {
 			j.errs.Set(fmt.Errorf("flink: sink: %w", err))
+			return
 		}
+		stages.Out.Add(int64(len(batch)))
 	}
 	emit := func(scored []byte) {
 		mu.Lock()
@@ -246,6 +249,7 @@ func (j *job) chainedSlot(consumer *broker.Consumer, producer *broker.Producer) 
 			time.Sleep(j.e.IdleBackoff)
 			continue
 		}
+		stages.In.Add(int64(len(recs)))
 		for _, rec := range recs {
 			// The record still crosses the network-buffer segment
 			// boundary between the source and the chained task.
@@ -316,6 +320,7 @@ func (j *job) startUnchained() error {
 		}()
 	}
 
+	stages := j.spec.Stages()
 	for s := 0; s < p.Sink; s++ {
 		producer, err := broker.NewAsyncProducer(j.spec.Transport, j.spec.OutputTopic, j.e.ChannelDepth)
 		if err != nil {
@@ -327,7 +332,9 @@ func (j *job) startUnchained() error {
 			for scored := range sinkCh {
 				if err := producer.Send(scored); err != nil {
 					j.errs.Set(fmt.Errorf("flink: sink: %w", err))
+					continue
 				}
+				stages.Out.Inc()
 			}
 			if err := producer.Close(); err != nil {
 				j.errs.Set(fmt.Errorf("flink: sink: %w", err))
@@ -354,6 +361,7 @@ func (j *job) sourceLoop(consumer *broker.Consumer, out chan<- pipeRecord) {
 	if max <= 0 {
 		max = j.e.ChannelDepth
 	}
+	stages := j.spec.Stages()
 	for {
 		select {
 		case <-j.stopCh:
@@ -369,6 +377,7 @@ func (j *job) sourceLoop(consumer *broker.Consumer, out chan<- pipeRecord) {
 			time.Sleep(j.e.IdleBackoff)
 			continue
 		}
+		stages.In.Add(int64(len(recs)))
 		for _, rec := range recs {
 			select {
 			case out <- j.e.segment(rec.Value):

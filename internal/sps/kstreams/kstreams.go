@@ -111,6 +111,7 @@ func (j *job) streamThread(consumer *broker.Consumer, producer *broker.AsyncProd
 	if max <= 0 {
 		max = j.e.PollRecords
 	}
+	stages := j.spec.Stages()
 	lastCommit := time.Now()
 	for {
 		select {
@@ -127,6 +128,7 @@ func (j *job) streamThread(consumer *broker.Consumer, producer *broker.AsyncProd
 			time.Sleep(j.e.IdleBackoff)
 			continue
 		}
+		stages.In.Add(int64(len(recs)))
 		for _, rec := range recs {
 			scored, err := j.spec.Transform(rec.Value)
 			if err != nil {
@@ -135,7 +137,9 @@ func (j *job) streamThread(consumer *broker.Consumer, producer *broker.AsyncProd
 			}
 			if err := producer.Send(scored); err != nil {
 				j.errs.Set(fmt.Errorf("kafka-streams: sink: %w", err))
+				continue
 			}
+			stages.Out.Inc()
 		}
 		if j.e.CommitInterval <= 0 || time.Since(lastCommit) >= j.e.CommitInterval {
 			if err := producer.Flush(); err != nil {

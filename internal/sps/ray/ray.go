@@ -133,6 +133,7 @@ func (j *job) inputActor(a *Actor, consumer *broker.Consumer, downstream *Actor)
 	if max <= 0 {
 		max = j.e.MailboxDepth
 	}
+	stages := j.spec.Stages()
 	for {
 		select {
 		case <-j.stopCh:
@@ -148,6 +149,7 @@ func (j *job) inputActor(a *Actor, consumer *broker.Consumer, downstream *Actor)
 			time.Sleep(j.e.IdleBackoff)
 			continue
 		}
+		stages.In.Add(int64(len(recs)))
 		for _, rec := range recs {
 			value := rec.Value
 			if j.e.PickleHops {
@@ -191,6 +193,7 @@ func (j *job) outputActor(a *Actor, producer *broker.AsyncProducer) {
 			j.errs.Set(fmt.Errorf("ray: output actor: %w", err))
 		}
 	}()
+	stages := j.spec.Stages()
 	for {
 		value, ok, err := a.Recv()
 		if err != nil {
@@ -202,6 +205,8 @@ func (j *job) outputActor(a *Actor, producer *broker.AsyncProducer) {
 		}
 		if err := producer.Send(value); err != nil {
 			j.errs.Set(fmt.Errorf("ray: output actor: %w", err))
+			continue
 		}
+		stages.Out.Inc()
 	}
 }

@@ -107,6 +107,7 @@ func (j *job) driverLoop(consumer *broker.Consumer, producer *broker.Producer) {
 	if max <= 0 {
 		max = j.e.MaxBatchRecords
 	}
+	stages := j.spec.Stages()
 	ticker := time.NewTicker(j.e.TriggerInterval)
 	defer ticker.Stop()
 	for {
@@ -131,11 +132,14 @@ func (j *job) driverLoop(consumer *broker.Consumer, producer *broker.Producer) {
 		if len(batch) == 0 {
 			continue
 		}
+		stages.In.Add(int64(len(batch)))
 		scored := j.runStage(batch, executors)
 		// Append-mode sink: one batched write.
 		if len(scored) > 0 {
 			if _, err := j.spec.Transport.Produce(j.spec.OutputTopic, producer.NextPartition(), scored); err != nil {
 				j.errs.Set(fmt.Errorf("spark-ss: sink: %w", err))
+			} else {
+				stages.Out.Add(int64(len(scored)))
 			}
 		}
 		if err := consumer.Commit(); err != nil {

@@ -7,6 +7,14 @@
 // The four engines the paper evaluates live in the subpackages flink
 // (push-based, pipelined), kstreams (pull-based), sparkss (micro-batch),
 // and ray (actor-based).
+//
+// Concurrency contract: engines invoke JobSpec.Transform from mp
+// parallel operator instances, so transforms must be safe for concurrent
+// use; Job.Stop and Job.Err may be called from any goroutine. When
+// JobSpec.Metrics is set, the scoring operator is instrumented uniformly
+// across engines (sps.score.* metrics, recorded lock-free; see
+// docs/OBSERVABILITY.md) and each engine additionally counts its source
+// and sink records.
 package sps
 
 import (
@@ -14,8 +22,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"crayfish/internal/broker"
+	"crayfish/internal/telemetry"
 )
 
 // Transform is the scoring operator's logic: it maps one record value (a
@@ -76,6 +86,9 @@ type JobSpec struct {
 	// PollMax bounds records fetched per source poll; 0 means an
 	// engine-specific default.
 	PollMax int
+	// Metrics publishes live per-stage telemetry into the given
+	// registry; nil disables instrumentation at near-zero cost.
+	Metrics *telemetry.Registry
 }
 
 // Validate checks the spec's required fields.
@@ -92,9 +105,52 @@ func (s *JobSpec) Validate() error {
 	if s.Group == "" {
 		s.Group = "crayfish-sps"
 	}
+	if s.Metrics != nil {
+		s.Transform = instrumentTransform(s.Transform, s.Metrics)
+	}
 	var err error
 	s.Parallelism, err = s.Parallelism.Normalize()
 	return err
+}
+
+// instrumentTransform wraps the scoring operator with live telemetry:
+// call and error counts plus a per-call latency histogram. The latency
+// includes the operator's full work — batch decode, inference, and
+// re-encode — so comparing sps.score.latency_ns against
+// serving.score.latency_ns isolates the serialisation cost.
+func instrumentTransform(t Transform, reg *telemetry.Registry) Transform {
+	calls := reg.Counter("sps.score.calls")
+	errs := reg.Counter("sps.score.errors")
+	lat := reg.Histogram("sps.score.latency_ns")
+	return func(value []byte) ([]byte, error) {
+		start := time.Now()
+		out, err := t(value)
+		lat.RecordSince(start)
+		calls.Inc()
+		if err != nil {
+			errs.Inc()
+		}
+		return out, err
+	}
+}
+
+// StageCounters are the engine-side source/sink record counters every
+// engine publishes. Resolve them once per job with Stages.
+type StageCounters struct {
+	// In counts records the source operators polled from the broker.
+	In *telemetry.Counter
+	// Out counts records the sink operators handed to the producer.
+	Out *telemetry.Counter
+}
+
+// Stages resolves the per-stage counters from the spec's registry. With
+// telemetry disabled the returned handles are nil and counting is a
+// no-op.
+func (s *JobSpec) Stages() StageCounters {
+	return StageCounters{
+		In:  s.Metrics.Counter("sps.source.records"),
+		Out: s.Metrics.Counter("sps.sink.records"),
+	}
 }
 
 // Job is a running streaming job.

@@ -1,0 +1,24 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves JSON snapshots of the registry, for mounting at
+// /metrics on daemon processes (brokerd, modelserver). Each GET captures
+// a fresh snapshot; pair it with net/http/pprof on the same mux for a
+// full live-debugging endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if snap == nil {
+			http.Error(w, "telemetry disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}

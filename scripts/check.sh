@@ -1,8 +1,17 @@
 #!/bin/sh
-# Repository health check: build, vet, full tests, quick benches.
+# Repository health check — run before every PR (see README "Contributing
+# checks"): formatting, build, vet, race-enabled tests, quick benches.
 set -e
 cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 go build ./...
 go vet ./...
-go test ./...
+go test -race ./...
 CRAYFISH_BENCH_SCALE=0.05 go test -run NONE -bench . -benchtime=1x .

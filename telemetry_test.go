@@ -1,0 +1,137 @@
+package crayfish_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"crayfish"
+)
+
+// TestRunTelemetryContract runs a tiny instrumented experiment and checks
+// that every per-stage metric family documented in docs/OBSERVABILITY.md
+// shows up in the final snapshot with activity. This guards the metrics
+// contract: renaming or dropping an instrumented stage fails here before
+// it silently breaks dashboards built on the documented names.
+func TestRunTelemetryContract(t *testing.T) {
+	reg := crayfish.NewTelemetry()
+	cfg := crayfish.Config{
+		Workload: crayfish.Workload{
+			InputShape: []int{28, 28},
+			BatchSize:  1,
+			InputRate:  300,
+			Duration:   200 * time.Millisecond,
+		},
+		Engine:     "flink",
+		Serving:    crayfish.ServingConfig{Mode: crayfish.Embedded, Tool: "onnx"},
+		Model:      crayfish.ModelSpec{Name: "ffnn"},
+		Partitions: 4,
+		Telemetry:  reg,
+	}
+	res, err := crayfish.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Telemetry
+	if snap == nil {
+		t.Fatal("run with Config.Telemetry returned no snapshot")
+	}
+
+	counters := []string{
+		"producer.events", "producer.bytes", "producer.batches",
+		"broker.append.records", "broker.append.bytes",
+		"broker.fetch.records", "broker.fetch.bytes",
+		"sps.source.records", "sps.sink.records", "sps.score.calls",
+		"serving.score.calls", "serving.score.points",
+		"consumer.samples",
+	}
+	for _, name := range counters {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	histograms := []string{
+		"sps.score.latency_ns",
+		"serving.score.latency_ns", "serving.score.batch_size",
+		"consumer.e2e_latency_ns",
+	}
+	for _, name := range histograms {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count <= 0 {
+			t.Errorf("histogram %s missing or empty (%+v)", name, h)
+		}
+	}
+	gauges := []string{"producer.lag_ns", "broker.backlog.crayfish-in", "broker.backlog.crayfish-out"}
+	for _, name := range gauges {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s missing", name)
+		}
+	}
+
+	// Consistency across stages: what the scorer saw is what the SPS
+	// transform invoked, and every consumed sample went through scoring.
+	if snap.Counters["sps.score.calls"] != snap.Counters["serving.score.calls"] {
+		t.Errorf("sps.score.calls %d != serving.score.calls %d",
+			snap.Counters["sps.score.calls"], snap.Counters["serving.score.calls"])
+	}
+	if got, want := snap.Counters["consumer.samples"], int64(res.Metrics.Consumed); got != want {
+		t.Errorf("consumer.samples %d != Metrics.Consumed %d", got, want)
+	}
+	// The scorer latency is a component of the SPS transform latency.
+	if snap.Histograms["serving.score.latency_ns"].Sum > snap.Histograms["sps.score.latency_ns"].Sum {
+		t.Errorf("serving latency sum exceeds enclosing sps transform sum")
+	}
+
+	text := snap.Format()
+	for _, name := range counters {
+		if !strings.Contains(text, name) {
+			t.Errorf("text snapshot missing %s", name)
+		}
+	}
+}
+
+// TestRunWithoutTelemetry keeps the disabled path honest: no registry, no
+// snapshot, and the run still works.
+func TestRunWithoutTelemetry(t *testing.T) {
+	cfg := crayfish.Config{
+		Workload: crayfish.Workload{
+			InputShape: []int{28, 28},
+			InputRate:  300,
+			Duration:   100 * time.Millisecond,
+		},
+		Engine:     "kafka-streams",
+		Serving:    crayfish.ServingConfig{Mode: crayfish.Embedded, Tool: "onnx"},
+		Model:      crayfish.ModelSpec{Name: "ffnn"},
+		Partitions: 2,
+	}
+	res, err := crayfish.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry != nil {
+		t.Fatal("telemetry snapshot present without a registry")
+	}
+}
+
+// TestStandaloneTelemetry checks the broker-less baseline reports scorer
+// metrics too (its pipeline has no broker, SPS, or consumer stages).
+func TestStandaloneTelemetry(t *testing.T) {
+	reg := crayfish.NewTelemetry()
+	cfg := crayfish.Config{
+		Workload: crayfish.Workload{
+			InputShape: []int{28, 28},
+			InputRate:  300,
+			Duration:   100 * time.Millisecond,
+		},
+		Engine:    "flink",
+		Serving:   crayfish.ServingConfig{Mode: crayfish.Embedded, Tool: "onnx"},
+		Telemetry: reg,
+	}
+	res, err := crayfish.RunStandalone(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil || res.Telemetry.Counters["serving.score.calls"] <= 0 {
+		t.Fatalf("standalone telemetry missing scorer activity: %+v", res.Telemetry)
+	}
+}
