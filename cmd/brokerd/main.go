@@ -37,6 +37,7 @@ func serveMetrics(addr string, reg *crayfish.TelemetryRegistry) (string, error) 
 	if err != nil {
 		return "", err
 	}
+	//lint:allow gorolifecycle metrics server lives for the process; the listener dies with it
 	go http.Serve(ln, mux)
 	return ln.Addr().String(), nil
 }
@@ -89,7 +90,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
-	srv.Close()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "brokerd: shutdown: %v\n", err)
+	}
 	time.Sleep(50 * time.Millisecond)
 }
 

@@ -90,7 +90,11 @@ func run() {
 		if derr != nil {
 			fatalf("dial broker: %v", derr)
 		}
-		defer client.Close()
+		defer func() {
+			if cerr := client.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "crayfish: close broker client: %v\n", cerr)
+			}
+		}()
 		runner := &crayfish.Runner{Transport: client}
 		res, err = runner.Run(cfg)
 	default:

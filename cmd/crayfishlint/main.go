@@ -1,0 +1,143 @@
+// Command crayfishlint runs Crayfish's project-specific static-analysis
+// suite (internal/analysis) over the module: layering, metricnames,
+// clockdiscipline, gorolifecycle, errchecklite. It is wired into
+// scripts/check.sh as a hard gate; docs/STATIC_ANALYSIS.md documents
+// each analyzer and the //lint:allow escape hatch.
+//
+// Usage:
+//
+//	crayfishlint [-only a,b] [-list] [./... | <module-dir>]
+//
+// The default target is the module containing the working directory.
+// Exit status is 0 when the tree is clean and 1 when any diagnostic
+// (including a type-check failure) is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"crayfish/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: crayfishlint [-only a,b] [-list] [./... | <module-dir>]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fatalf("unknown analyzer %q (try -list)", name)
+		}
+		suite = filtered
+	}
+
+	dir, err := targetDir(flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mod, err := analysis.LoadModule(dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	failures := 0
+	for _, pkg := range mod.Packages {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Printf("%v: [typecheck]\n", terr)
+			failures++
+		}
+	}
+	res := analysis.Run(mod, suite)
+	for _, d := range res.Diagnostics {
+		fmt.Println(rel(mod.Dir, d))
+		failures++
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "crayfishlint: %d finding(s)", failures)
+		if res.Suppressed > 0 {
+			fmt.Fprintf(os.Stderr, " (%d suppressed by //lint:allow)", res.Suppressed)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(1)
+	}
+}
+
+// targetDir resolves the command's single optional argument: "./..."
+// (or no argument) means the module containing the working directory; a
+// directory path names a module root directly — used to lint the
+// analyzer fixtures themselves.
+func targetDir(args []string) (string, error) {
+	switch {
+	case len(args) == 0 || (len(args) == 1 && strings.HasSuffix(args[0], "...")):
+		cwd, err := os.Getwd()
+		if err != nil {
+			return "", err
+		}
+		if len(args) == 1 {
+			cwd = filepath.Join(cwd, strings.TrimSuffix(strings.TrimSuffix(args[0], "..."), "/"))
+		}
+		return findModuleRoot(cwd)
+	case len(args) == 1:
+		return args[0], nil
+	default:
+		return "", fmt.Errorf("crayfishlint: expected at most one target, got %d", len(args))
+	}
+}
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("crayfishlint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// rel shortens a diagnostic's filename to be module-relative for stable,
+// readable output.
+func rel(modDir string, d analysis.Diagnostic) string {
+	if r, err := filepath.Rel(modDir, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crayfishlint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -35,6 +35,7 @@ func serveMetrics(addr string, reg *crayfish.TelemetryRegistry) (string, error) 
 	if err != nil {
 		return "", err
 	}
+	//lint:allow gorolifecycle metrics server lives for the process; the listener dies with it
 	go http.Serve(ln, mux)
 	return ln.Addr().String(), nil
 }
@@ -92,5 +93,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
-	srv.Close()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "modelserver: shutdown: %v\n", err)
+	}
 }

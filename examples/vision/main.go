@@ -52,7 +52,9 @@ func main() {
 			Network:            crayfish.LAN,
 		}
 		res, err := crayfish.Run(cfg)
-		daemon.Close()
+		if cerr := daemon.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,207 @@
+package analysis_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"crayfish/internal/analysis"
+)
+
+// The fixture module under testdata/src seeds at least one violation per
+// analyzer; `// want <analyzer>[,<analyzer>...]` markers on the seeded
+// lines are the expected-findings oracle.
+
+var (
+	fixtureOnce sync.Once
+	fixtureMod  *analysis.Module
+	fixtureRes  analysis.Result
+	fixtureErr  error
+)
+
+func fixture(t *testing.T) (*analysis.Module, analysis.Result) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureMod, fixtureErr = analysis.LoadModule(filepath.Join("testdata", "src"))
+		if fixtureErr == nil {
+			fixtureRes = analysis.Run(fixtureMod, analysis.DefaultAnalyzers())
+		}
+	})
+	if fixtureErr != nil {
+		t.Fatalf("loading fixture module: %v", fixtureErr)
+	}
+	return fixtureMod, fixtureRes
+}
+
+var wantMarker = regexp.MustCompile(`// want ([a-z]+(?:,[a-z]+)*)\s*$`)
+
+// wantSet scans the fixture sources for want markers, returning
+// "relpath:line:analyzer" keys.
+func wantSet(t *testing.T, modDir string) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	err := filepath.WalkDir(modDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, _ := filepath.Rel(modDir, path)
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantMarker.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, name := range strings.Split(m[1], ",") {
+				want[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), line, name)] = true
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestSuiteMatchesFixtureMarkers runs the whole default suite over the
+// fixture module and requires its Go-file diagnostics to match the want
+// markers exactly — every seeded violation is caught, and nothing
+// unseeded is flagged.
+func TestSuiteMatchesFixtureMarkers(t *testing.T) {
+	mod, res := fixture(t)
+	want := wantSet(t, mod.Dir)
+
+	got := make(map[string]bool)
+	for _, d := range res.Diagnostics {
+		if !strings.HasSuffix(d.Pos.Filename, ".go") || d.Analyzer == "lintdirective" {
+			continue
+		}
+		rel, err := filepath.Rel(mod.Dir, d.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), d.Pos.Line, d.Analyzer)] = true
+	}
+
+	for key := range want {
+		if !got[key] {
+			t.Errorf("seeded violation not caught: %s", key)
+		}
+	}
+	for key := range got {
+		if !want[key] {
+			t.Errorf("unexpected diagnostic: %s", key)
+		}
+	}
+}
+
+// TestEveryAnalyzerCatchesItsSeed is the per-analyzer acceptance check:
+// each of the five analyzers reports at least one fixture finding.
+func TestEveryAnalyzerCatchesItsSeed(t *testing.T) {
+	_, res := fixture(t)
+	found := make(map[string]int)
+	for _, d := range res.Diagnostics {
+		found[d.Analyzer]++
+	}
+	for _, a := range analysis.DefaultAnalyzers() {
+		if found[a.Name] == 0 {
+			t.Errorf("analyzer %s caught nothing in the fixture module", a.Name)
+		}
+	}
+}
+
+// TestMetricNamesReverseDrift checks the doc→code direction: a
+// documented metric that is registered nowhere is reported, anchored at
+// the contract document.
+func TestMetricNamesReverseDrift(t *testing.T) {
+	_, res := fixture(t)
+	var docDiags []analysis.Diagnostic
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "metricnames" && strings.HasSuffix(d.Pos.Filename, ".md") {
+			docDiags = append(docDiags, d)
+		}
+	}
+	if len(docDiags) != 1 {
+		t.Fatalf("got %d doc-anchored metricnames diagnostics, want 1: %v", len(docDiags), docDiags)
+	}
+	if !strings.Contains(docDiags[0].Message, `"app.ghost"`) {
+		t.Errorf("reverse-drift diagnostic does not name app.ghost: %s", docDiags[0].Message)
+	}
+}
+
+// TestDirectiveSuppressionAndGrammar: well-formed //lint:allow comments
+// suppress (the fixtures carry three), and a directive without a reason
+// is itself reported.
+func TestDirectiveSuppressionAndGrammar(t *testing.T) {
+	_, res := fixture(t)
+	if res.Suppressed != 3 {
+		t.Errorf("suppressed = %d, want 3 (clockdiscipline, gorolifecycle, errchecklite fixtures)", res.Suppressed)
+	}
+	var bad []analysis.Diagnostic
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "lintdirective" {
+			bad = append(bad, d)
+		}
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0].Pos.Filename, "clock.go") {
+		t.Errorf("got lintdirective diagnostics %v, want exactly one in clock.go (the reason-less directive)", bad)
+	}
+}
+
+// TestLoaderShape sanity-checks the module loader: module path, package
+// discovery, and module-relative paths.
+func TestLoaderShape(t *testing.T) {
+	mod, _ := fixture(t)
+	if mod.Path != "fixture.test" {
+		t.Fatalf("module path = %q, want fixture.test", mod.Path)
+	}
+	for _, want := range []string{
+		"fixture.test/telemetry",
+		"fixture.test/metrics",
+		"fixture.test/internal/core",
+		"fixture.test/cmd/tool",
+	} {
+		if mod.Lookup(want) == nil {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	core := mod.Lookup("fixture.test/internal/core")
+	if core.ModRel != "internal/core" {
+		t.Errorf("core.ModRel = %q, want internal/core", core.ModRel)
+	}
+	if len(core.TypeErrors) == 0 {
+		t.Error("core imports github.com/nope/dep; expected recorded type errors")
+	}
+	if tel := mod.Lookup("fixture.test/telemetry"); len(tel.TypeErrors) != 0 {
+		t.Errorf("telemetry should type-check cleanly, got %v", tel.TypeErrors)
+	}
+}
+
+// TestDiagnosticsSorted: output order is deterministic (file, then line,
+// then analyzer).
+func TestDiagnosticsSorted(t *testing.T) {
+	_, res := fixture(t)
+	if !sort.SliceIsSorted(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	}) {
+		t.Error("diagnostics are not sorted")
+	}
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	// bad marks a directive that does not follow the grammar (missing
+	// analyzer name or reason); bad directives suppress nothing and are
+	// themselves reported.
+	bad string
+}
+
+const directivePrefix = "//lint:allow"
+
+// collectDirectives indexes every //lint:allow comment in the package by
+// the line it suppresses. Grammar:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// A directive trailing a statement covers that statement's line; a
+// directive on its own line covers the next line. The reason is free
+// text and mandatory.
+func (p *Package) collectDirectives(fset *token.FileSet) {
+	p.allow = make(map[string][]directive)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				d := directive{pos: pos}
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // e.g. //lint:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.bad = "missing analyzer name and reason"
+				case len(fields) == 1:
+					d.analyzer = fields[0]
+					d.bad = "missing reason (grammar: //lint:allow <analyzer> <reason>)"
+				default:
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				// The directive covers its own line and, when it stands
+				// alone, the line below. Indexing both is harmless for
+				// trailing directives: code never occupies the line
+				// after a trailing comment's statement *and* expects
+				// suppression from it.
+				p.allow[lineKey(pos.Filename, pos.Line)] = append(p.allow[lineKey(pos.Filename, pos.Line)], d)
+				p.allow[lineKey(pos.Filename, pos.Line+1)] = append(p.allow[lineKey(pos.Filename, pos.Line+1)], d)
+			}
+		}
+	}
+}
+
+func lineKey(file string, line int) string {
+	var b strings.Builder
+	b.WriteString(file)
+	b.WriteByte(':')
+	// Lines fit in a few digits; avoid fmt on this warm path.
+	var buf [12]byte
+	i := len(buf)
+	n := line
+	if n == 0 {
+		i--
+		buf[i] = '0'
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	b.Write(buf[i:])
+	return b.String()
+}
+
+// allows reports whether a well-formed directive for the analyzer covers
+// the position.
+func (p *Package) allows(analyzer string, pos token.Position) bool {
+	for _, d := range p.allow[lineKey(pos.Filename, pos.Line)] {
+		if d.bad == "" && d.analyzer == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// reportBadDirectives surfaces malformed //lint:allow comments, which
+// would otherwise rot silently while suppressing nothing.
+func reportBadDirectives(mod *Module, pkg *Package, out *[]Diagnostic) {
+	seen := make(map[string]bool)
+	for _, ds := range pkg.allow {
+		for _, d := range ds {
+			if d.bad == "" {
+				continue
+			}
+			key := lineKey(d.pos.Filename, d.pos.Line)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			*out = append(*out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "lintdirective",
+				Message:  d.bad,
+			})
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Command tool exists so a library package can commit the sin of
+// importing cmd/... in the layering fixtures.
+package main
+
+// Exported is what importscmd reaches for.
+const Exported = "tool"
+
+func main() {}

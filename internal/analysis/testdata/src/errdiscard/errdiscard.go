@@ -1,0 +1,41 @@
+// Package errdiscard seeds errchecklite violations: module-internal
+// errors dropped on the floor, next to the allowed shapes.
+package errdiscard
+
+import "errors"
+
+// Fail always fails.
+func Fail() error { return errors.New("nope") }
+
+// Pair returns a value and an error.
+func Pair() (int, error) { return 0, errors.New("nope") }
+
+type closer struct{}
+
+// Close fails like a real resource.
+func (closer) Close() error { return errors.New("nope") }
+
+// Discards collects the flagged shapes.
+func Discards() {
+	Fail()       // want errchecklite
+	Pair()       // want errchecklite
+	defer Fail() // want errchecklite
+	var c closer
+	c.Close() // want errchecklite
+	//lint:allow errchecklite fixture: best-effort cleanup
+	Fail()
+}
+
+// Allowed collects the accepted shapes: handled, explicitly discarded,
+// and value-only calls.
+func Allowed() error {
+	if err := Fail(); err != nil {
+		return err
+	}
+	_ = Fail()
+	_, _ = Pair()
+	noError()
+	return nil
+}
+
+func noError() {}

@@ -1,0 +1,60 @@
+// Package goro seeds gorolifecycle violations: fire-and-forget
+// goroutines next to each joined shape the analyzer recognises.
+package goro
+
+import "sync"
+
+func work() {}
+
+// FireAndForget spawns with no join anywhere in scope.
+func FireAndForget() {
+	go work()   // want gorolifecycle
+	go func() { // want gorolifecycle
+		work()
+	}()
+}
+
+// Annotated is a sanctioned daemon.
+func Annotated() {
+	//lint:allow gorolifecycle fixture: process-lifetime daemon, reaped at exit
+	go work()
+}
+
+// JoinedByWaitGroup uses the wg.Add(1); go f() idiom.
+func JoinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// JoinedByMethodCall is the same idiom with a named method: the Add in
+// the enclosing scope is the visible join.
+func JoinedByMethodCall(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go work()
+}
+
+// JoinedByClose signals termination by closing a channel the owner can
+// receive on.
+func JoinedByClose() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// JoinedBySend delivers a result, which the owner must receive.
+func JoinedBySend() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		work()
+		out <- 1
+	}()
+	return out
+}

@@ -1,0 +1,9 @@
+// Package importscmd seeds the nothing-imports-cmd layering violation.
+package importscmd
+
+import (
+	tool "fixture.test/cmd/tool" // want layering
+)
+
+// Name leaks a binary's internals into a library.
+const Name = tool.Exported

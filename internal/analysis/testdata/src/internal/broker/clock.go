@@ -1,0 +1,29 @@
+// Package broker seeds clockdiscipline violations: raw wall-clock reads
+// and sleeps inside a timestamp-path package, plus the annotated escape
+// hatch and a malformed directive.
+package broker
+
+import "time"
+
+// Stamp reads the wall clock instead of an injected one.
+func Stamp() time.Time {
+	return time.Now() // want clockdiscipline
+}
+
+// Wait sleeps twice: once raw, once with a justified annotation.
+func Wait(d time.Duration) {
+	time.Sleep(d) // want clockdiscipline
+	//lint:allow clockdiscipline fixture: the modelled delay itself
+	time.Sleep(d)
+}
+
+// DefaultClock takes the function value, not a call — still a raw
+// clock dependency.
+var DefaultClock = time.Now // want clockdiscipline
+
+// Poll uses the banned convenience wrappers.
+func Poll(d time.Duration) {
+	<-time.After(d) // want clockdiscipline
+	//lint:allow clockdiscipline
+	<-time.Tick(d) // want clockdiscipline
+}

@@ -1,0 +1,12 @@
+// Package core seeds two layering violations: the engine-agnostic
+// driver importing a concrete engine, and a third-party dependency.
+package core
+
+import (
+	"github.com/nope/dep" // want layering
+
+	"fixture.test/internal/sps/fakeengine" // want layering
+)
+
+// Run names the engine directly instead of going through a registry.
+func Run() string { return fakeengine.Name() + dep.Version }

@@ -1,0 +1,6 @@
+// Package fakeengine stands in for an SPS engine package
+// (internal/sps/<engine>) in layering fixtures.
+package fakeengine
+
+// Name identifies the fake engine.
+func Name() string { return "fakeengine" }

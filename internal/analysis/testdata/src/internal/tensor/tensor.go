@@ -1,0 +1,10 @@
+// Package tensor seeds a layering violation: a base (leaf) package
+// importing a module-internal package.
+package tensor
+
+import (
+	"fixture.test/internal/sps/fakeengine" // want layering
+)
+
+// UsesEngine drags a higher layer into a base package.
+func UsesEngine() string { return fakeengine.Name() }

@@ -1,0 +1,20 @@
+// Package metrics seeds metricnames violations: undocumented names,
+// kind mismatches, undocumented dynamic prefixes, and non-constant
+// names, next to compliant registrations.
+package metrics
+
+import "fixture.test/telemetry"
+
+const latencyName = "app.latency_ns"
+
+// Register exercises every registration shape the analyzer classifies.
+func Register(reg *telemetry.Registry, topic string) {
+	reg.Counter("app.requests")           // documented: ok
+	reg.Histogram(latencyName)            // documented via named constant: ok
+	reg.Gauge("queue.depth." + topic)     // documented wildcard family: ok
+	reg.Counter("app.rogue")              // want metricnames
+	reg.Gauge("app.requests")             // want metricnames
+	reg.Counter("rogue.prefix." + topic)  // want metricnames
+	reg.Counter(topic)                    // want metricnames
+	reg.Histogram("queue.depth." + topic) // want metricnames
+}

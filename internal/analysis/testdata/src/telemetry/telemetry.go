@@ -1,0 +1,26 @@
+// Package telemetry mirrors the shape of crayfish/internal/telemetry:
+// the metricnames analyzer identifies registrations by the method set of
+// a type named Registry in a package named telemetry, so the fixture
+// module supplies its own.
+package telemetry
+
+// Counter is a stub metric handle.
+type Counter struct{}
+
+// Gauge is a stub metric handle.
+type Gauge struct{}
+
+// Histogram is a stub metric handle.
+type Histogram struct{}
+
+// Registry is the stub registry.
+type Registry struct{}
+
+// Counter returns a counter handle.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge returns a gauge handle.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram returns a histogram handle.
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }

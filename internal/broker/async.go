@@ -43,6 +43,7 @@ func NewAsyncProducer(t Transport, topic string, queueDepth int) (*AsyncProducer
 		queue: make(chan Record, queueDepth),
 		done:  make(chan struct{}),
 	}
+	//lint:allow gorolifecycle sender is joined via the done channel in Close
 	go ap.sender()
 	return ap, nil
 }
@@ -51,6 +52,7 @@ func NewAsyncProducer(t Transport, topic string, queueDepth int) (*AsyncProducer
 // (producer-side backpressure). It returns any asynchronous send error
 // observed so far.
 func (ap *AsyncProducer) Send(value []byte) error {
+	//lint:allow clockdiscipline client-side CreateTime stamp, not on the measured path
 	return ap.SendRecord(Record{Value: value, Timestamp: time.Now()})
 }
 

@@ -77,6 +77,7 @@ func New(cfg Config) *Broker {
 		cfg.MaxRequestSize = DefaultConfig().MaxRequestSize
 	}
 	if cfg.Clock == nil {
+		//lint:allow clockdiscipline documented default; measurements inject a fake clock
 		cfg.Clock = time.Now
 	}
 	return &Broker{
@@ -194,7 +195,22 @@ func (b *Broker) Produce(topicName string, partition int, recs []Record) (int64,
 	}
 	base := t.parts[partition].append(recs, b.cfg.Clock)
 	b.countAppend(t, recs)
+	t.appended()
 	return base, nil
+}
+
+// AppendSignal returns a channel that is closed the next time records are
+// appended to any partition of the topic. Callers must capture the
+// channel, check for data, and only then block on it: the capture-then-
+// check order guarantees an append racing the check re-arms the wait
+// instead of being lost. This lets in-process consumers block for new
+// records instead of busy-polling (see Consumer.PollWait).
+func (b *Broker) AppendSignal(topicName string) (<-chan struct{}, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	return t.appendSignal(), nil
 }
 
 // countAppend and countFetch publish live log-traffic telemetry; both
@@ -328,14 +344,33 @@ type topic struct {
 	name    string
 	parts   []*partition
 	backlog *telemetry.Gauge
+
+	notifyMu sync.Mutex
+	notify   chan struct{}
 }
 
 func newTopic(name string, n, retention int) *topic {
-	t := &topic{name: name, parts: make([]*partition, n)}
+	t := &topic{name: name, parts: make([]*partition, n), notify: make(chan struct{})}
 	for i := range t.parts {
 		t.parts[i] = &partition{id: i, retention: retention}
 	}
 	return t
+}
+
+// appended wakes every waiter blocked on the topic's append signal by
+// closing the current signal channel and arming a fresh one.
+func (t *topic) appended() {
+	t.notifyMu.Lock()
+	close(t.notify)
+	t.notify = make(chan struct{})
+	t.notifyMu.Unlock()
+}
+
+// appendSignal returns the channel the next append will close.
+func (t *topic) appendSignal() <-chan struct{} {
+	t.notifyMu.Lock()
+	defer t.notifyMu.Unlock()
+	return t.notify
 }
 
 // partition is an append-only record log. start is the log start offset:

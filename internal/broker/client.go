@@ -29,6 +29,16 @@ type Transport interface {
 
 var _ Transport = (*Broker)(nil)
 
+// AppendNotifier is the optional transport extension for blocking reads:
+// AppendSignal returns a channel closed on the topic's next append. The
+// in-process *Broker implements it; remote transports do not, and
+// blocking consumers fall back to timed re-polling.
+type AppendNotifier interface {
+	AppendSignal(topic string) (<-chan struct{}, error)
+}
+
+var _ AppendNotifier = (*Broker)(nil)
+
 // Producer writes records to a topic, spreading keyless records
 // round-robin across partitions and hashing keyed records.
 type Producer struct {
@@ -52,6 +62,7 @@ func NewProducer(t Transport, topic string) (*Producer, error) {
 // Send appends one record, stamping it with the current time as its
 // CreateTime, and returns the partition and offset it landed at.
 func (p *Producer) Send(key, value []byte) (int, int64, error) {
+	//lint:allow clockdiscipline client-side CreateTime stamp, not on the measured path
 	return p.SendAt(key, value, time.Now())
 }
 
@@ -268,6 +279,49 @@ func (c *Consumer) Poll(max int) ([]Record, error) {
 		}
 	}
 	return out, nil
+}
+
+// PollWait is Poll, but blocks until records arrive, the timeout
+// elapses (returning an empty slice), or an error occurs. On an
+// in-process transport it parks on the topic's append signal, so idle
+// consumers cost nothing; on remote transports it degrades to a timed
+// re-poll loop.
+func (c *Consumer) PollWait(max int, timeout time.Duration) ([]Record, error) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	notifier, _ := c.t.(AppendNotifier)
+	for {
+		// Capture the signal before polling: an append that races the
+		// poll closes this channel, so the wait below wakes instead of
+		// missing it.
+		var signal <-chan struct{}
+		if notifier != nil {
+			ch, err := notifier.AppendSignal(c.topic)
+			if err != nil {
+				return nil, err
+			}
+			signal = ch
+		}
+		recs, err := c.Poll(max)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		if signal != nil {
+			select {
+			case <-signal:
+			case <-deadline.C:
+				return nil, nil
+			}
+			continue
+		}
+		retry := time.NewTimer(time.Millisecond)
+		select {
+		case <-retry.C:
+		case <-deadline.C:
+			retry.Stop()
+			return nil, nil
+		}
+	}
 }
 
 // Commit persists current positions as the group's committed offsets.

@@ -122,8 +122,9 @@ func (r *Runner) runWithScorer(cfg Config, scorer serving.Scorer) (*Result, erro
 		// so reruns start clean. Private in-process brokers are
 		// discarded wholesale.
 		if r.Transport != nil {
-			transport.DeleteTopic(InputTopic)
-			transport.DeleteTopic(OutputTopic)
+			// Best-effort: a shared broker may already be shutting down.
+			_ = transport.DeleteTopic(InputTopic)
+			_ = transport.DeleteTopic(OutputTopic)
 		}
 	}()
 
@@ -154,7 +155,7 @@ func (r *Runner) runWithScorer(cfg Config, scorer serving.Scorer) (*Result, erro
 
 	oc, err := NewOutputConsumer(transport, OutputTopic, codec)
 	if err != nil {
-		job.Stop()
+		_ = job.Stop()
 		return nil, err
 	}
 	oc.Metrics = cfg.Telemetry
@@ -164,7 +165,7 @@ func (r *Runner) runWithScorer(cfg Config, scorer serving.Scorer) (*Result, erro
 
 	producer, err := NewInputProducer(transport, InputTopic, cfg.Workload, codec)
 	if err != nil {
-		job.Stop()
+		_ = job.Stop()
 		close(consumerStop)
 		<-consumerDone
 		return nil, err

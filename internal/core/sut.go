@@ -104,14 +104,14 @@ func BuildScorerNet(cfg ServingConfig, m *model.Model, mp int, network netsim.Pr
 		client, err := external.DialClient(kind, addr)
 		if err != nil {
 			if srv != nil {
-				srv.Close()
+				_ = srv.Close()
 			}
 			return nil, nil, err
 		}
 		cleanup := func() {
-			client.Close()
+			_ = client.Close()
 			if srv != nil {
-				srv.Close()
+				_ = srv.Close()
 			}
 		}
 		return client, cleanup, nil

@@ -110,12 +110,12 @@ func AblationTransport(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer srv.Close()
+	defer func() { _ = srv.Close() }()
 	rc, err := broker.Dial(srv.Addr())
 	if err != nil {
 		return nil, err
 	}
-	defer rc.Close()
+	defer func() { _ = rc.Close() }()
 	if err := run(rc, "tcp"); err != nil {
 		return nil, err
 	}

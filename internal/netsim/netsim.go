@@ -48,6 +48,7 @@ func (p Profile) Apply(n int) {
 		return
 	}
 	if d := p.Delay(n); d > 0 {
+		//lint:allow clockdiscipline the modelled transfer delay itself
 		time.Sleep(d)
 	}
 }

@@ -132,9 +132,13 @@ func (s *rayServer) autoscaler() {
 		queued := len(s.workCh) + len(s.proxyCh)
 		switch {
 		case queued > 2*current && current < s.cfg.AutoscaleMax:
-			s.SetWorkers(current + 1)
+			if err := s.SetWorkers(current + 1); err != nil {
+				return // lost the race with Close
+			}
 		case queued == 0 && current > floor:
-			s.SetWorkers(current - 1)
+			if err := s.SetWorkers(current - 1); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -156,9 +160,13 @@ func (s *rayServer) SetWorkers(n int) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("ray-serve: server closed")
+	}
 	for len(s.replicas) < n {
 		stop := make(chan struct{})
 		s.replicas = append(s.replicas, stop)
+		s.wg.Add(1)
 		go s.replica(stop)
 	}
 	for len(s.replicas) > n {
@@ -264,6 +272,7 @@ func (s *rayServer) proxyLoop() {
 
 // replica is one deployment replica scoring requests.
 func (s *rayServer) replica(stop chan struct{}) {
+	defer s.wg.Done()
 	for {
 		select {
 		case <-stop:

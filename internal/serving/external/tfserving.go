@@ -151,12 +151,12 @@ func dialTFServing(addr string) (ScorerClient, error) {
 	}
 	raw, err := c.Call(tfMetadataMethod, nil)
 	if err != nil {
-		c.Close()
+		_ = c.Close()
 		return nil, fmt.Errorf("tf-serving: metadata: %w", err)
 	}
 	var meta metadata
 	if err := json.Unmarshal(raw, &meta); err != nil {
-		c.Close()
+		_ = c.Close()
 		return nil, fmt.Errorf("tf-serving: metadata: %w", err)
 	}
 	return &tfClient{c: c, meta: meta}, nil

@@ -34,6 +34,8 @@ type torchServer struct {
 	jobs    chan *torchJob
 	stops   []chan struct{}
 	workers int
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 type torchJob struct {
@@ -72,9 +74,13 @@ func (s *torchServer) SetWorkers(n int) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("torchserve: server closed")
+	}
 	for len(s.stops) < n {
 		stop := make(chan struct{})
 		s.stops = append(s.stops, stop)
+		s.wg.Add(1)
 		go s.worker(stop)
 	}
 	for len(s.stops) > n {
@@ -88,6 +94,7 @@ func (s *torchServer) SetWorkers(n int) error {
 func (s *torchServer) stopWorkersLocked() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	for _, stop := range s.stops {
 		close(stop)
 	}
@@ -97,11 +104,13 @@ func (s *torchServer) stopWorkersLocked() {
 func (s *torchServer) Close() error {
 	err := s.rpc.Close()
 	s.stopWorkersLocked()
+	s.wg.Wait()
 	return err
 }
 
 // worker is one TorchServe worker process: it owns the handler and model.
 func (s *torchServer) worker(stop chan struct{}) {
+	defer s.wg.Done()
 	for {
 		select {
 		case <-stop:
@@ -238,12 +247,12 @@ func dialTorchServe(addr string) (ScorerClient, error) {
 	}
 	raw, err := c.Call(torchMetadataMethod, nil)
 	if err != nil {
-		c.Close()
+		_ = c.Close()
 		return nil, fmt.Errorf("torchserve: metadata: %w", err)
 	}
 	var meta metadata
 	if err := json.Unmarshal(raw, &meta); err != nil {
-		c.Close()
+		_ = c.Close()
 		return nil, fmt.Errorf("torchserve: metadata: %w", err)
 	}
 	return &torchClient{c: c, meta: meta}, nil

@@ -124,6 +124,8 @@ func (j *job) Stop() error {
 
 func (j *job) Err() error { return j.errs.Get() }
 
+func (j *job) ErrSignal() <-chan struct{} { return j.errs.Signal() }
+
 // partitionSplit spreads the input partitions over n source tasks.
 func partitionSplit(t broker.Transport, topic string, n int) ([][]int, error) {
 	parts, err := t.Partitions(topic)

@@ -78,7 +78,7 @@ func (e *Engine) Run(spec sps.JobSpec) (sps.Job, error) {
 		}
 		producer, err := broker.NewAsyncProducer(spec.Transport, spec.OutputTopic, e.PollRecords*2)
 		if err != nil {
-			consumer.Close()
+			_ = consumer.Close()
 			return nil, err
 		}
 		j.wg.Add(1)
@@ -95,13 +95,19 @@ func (j *job) Stop() error {
 
 func (j *job) Err() error { return j.errs.Get() }
 
+func (j *job) ErrSignal() <-chan struct{} { return j.errs.Signal() }
+
 // streamThread is the poll → process-whole-DAG → commit loop. The sink is
 // a batching async producer (Kafka Streams uses the Kafka producer client
 // underneath) that is flushed before every offset commit, preserving
 // at-least-once semantics.
 func (j *job) streamThread(consumer *broker.Consumer, producer *broker.AsyncProducer) {
 	defer j.wg.Done()
-	defer consumer.Close()
+	defer func() {
+		if err := consumer.Close(); err != nil {
+			j.errs.Set(fmt.Errorf("kafka-streams: source: %w", err))
+		}
+	}()
 	defer func() {
 		if err := producer.Close(); err != nil {
 			j.errs.Set(fmt.Errorf("kafka-streams: sink: %w", err))

@@ -122,6 +122,8 @@ func (j *job) Stop() error {
 
 func (j *job) Err() error { return j.errs.Get() }
 
+func (j *job) ErrSignal() <-chan struct{} { return j.errs.Signal() }
+
 // storeLen exposes the object-store population for leak tests.
 func (j *job) storeLen() int { return j.sys.Store().Len() }
 

@@ -1,0 +1,11 @@
+package sparkss
+
+import (
+	"testing"
+
+	"crayfish/internal/testutil/leakcheck"
+)
+
+// TestMain fails the suite if a job leaves goroutines running after
+// Stop: the engine's joins must actually fire, not just exist.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

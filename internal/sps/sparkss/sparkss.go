@@ -67,7 +67,7 @@ func (e *Engine) Run(spec sps.JobSpec) (sps.Job, error) {
 	}
 	producer, err := broker.NewProducer(spec.Transport, spec.OutputTopic)
 	if err != nil {
-		consumer.Close()
+		_ = consumer.Close()
 		return nil, err
 	}
 	j := &job{e: e, spec: spec, stopCh: make(chan struct{})}
@@ -84,10 +84,16 @@ func (j *job) Stop() error {
 
 func (j *job) Err() error { return j.errs.Get() }
 
+func (j *job) ErrSignal() <-chan struct{} { return j.errs.Signal() }
+
 // driverLoop is the micro-batch scheduler.
 func (j *job) driverLoop(consumer *broker.Consumer, producer *broker.Producer) {
 	defer j.wg.Done()
-	defer consumer.Close()
+	defer func() {
+		if err := consumer.Close(); err != nil {
+			j.errs.Set(fmt.Errorf("spark-ss: source: %w", err))
+		}
+	}()
 	// Effective stage parallelism: partition-bound tasks on the
 	// executor's cores. mp raises it further only beyond the core count
 	// (in practice Spark SS is insensitive to mp, as in Figure 11).

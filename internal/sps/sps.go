@@ -161,6 +161,10 @@ type Job interface {
 	// Err returns the first asynchronous failure observed by any
 	// operator, or nil.
 	Err() error
+	// ErrSignal returns a channel that is closed when the first
+	// asynchronous failure is recorded, so callers can block on
+	// failure instead of polling Err.
+	ErrSignal() <-chan struct{}
 }
 
 // Processor is a stream-processing engine adapter.
@@ -215,9 +219,11 @@ func Names() []string {
 type ErrTracker struct {
 	mu  sync.Mutex
 	err error
+	ch  chan struct{}
 }
 
-// Set records err if it is the first non-nil error.
+// Set records err if it is the first non-nil error and wakes anyone
+// blocked on Signal.
 func (e *ErrTracker) Set(err error) {
 	if err == nil {
 		return
@@ -226,7 +232,24 @@ func (e *ErrTracker) Set(err error) {
 	defer e.mu.Unlock()
 	if e.err == nil {
 		e.err = err
+		if e.ch != nil {
+			close(e.ch)
+		}
 	}
+}
+
+// Signal returns a channel that is closed once the first error is
+// recorded, so callers can select on failure instead of polling Get.
+func (e *ErrTracker) Signal() <-chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ch == nil {
+		e.ch = make(chan struct{})
+		if e.err != nil {
+			close(e.ch)
+		}
+	}
+	return e.ch
 }
 
 // Get returns the recorded error.

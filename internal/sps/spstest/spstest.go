@@ -61,8 +61,9 @@ func (h *Harness) Produce(t *testing.T, n int) {
 	}
 }
 
-// CollectOutput polls the output topic until n records arrive or the
-// deadline passes, returning the values sorted.
+// CollectOutput reads the output topic until n records arrive or the
+// deadline passes, returning the values sorted. It blocks on the
+// broker's append signal between reads rather than busy-polling.
 func (h *Harness) CollectOutput(t *testing.T, n int, deadline time.Duration) [][]byte {
 	t.Helper()
 	c, err := broker.NewAssignedConsumer(h.Broker, "out")
@@ -71,16 +72,20 @@ func (h *Harness) CollectOutput(t *testing.T, n int, deadline time.Duration) [][
 	}
 	var out [][]byte
 	stop := time.Now().Add(deadline)
-	for len(out) < n && time.Now().Before(stop) {
-		recs, err := c.Poll(64)
+	for len(out) < n {
+		left := time.Until(stop)
+		if left <= 0 {
+			break
+		}
+		recs, err := c.PollWait(64, left)
 		if err != nil {
 			t.Fatal(err)
 		}
+		if len(recs) == 0 {
+			break // PollWait timed out: the deadline is exhausted
+		}
 		for _, r := range recs {
 			out = append(out, r.Value)
-		}
-		if len(recs) == 0 {
-			time.Sleep(time.Millisecond)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i], out[j]) < 0 })
@@ -136,12 +141,15 @@ func testTransformError(t *testing.T, proc sps.Processor) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for job.Err() == nil && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	giveUp := time.NewTimer(5 * time.Second)
+	defer giveUp.Stop()
+	select {
+	case <-job.ErrSignal():
+	case <-giveUp.C:
+		t.Fatalf("%s: transform error never surfaced", proc.Name())
 	}
 	if job.Err() == nil {
-		t.Fatalf("%s: transform error never surfaced", proc.Name())
+		t.Fatalf("%s: ErrSignal fired but Err is nil", proc.Name())
 	}
 	if err := job.Stop(); err == nil {
 		t.Fatalf("%s: Stop did not report the error", proc.Name())
@@ -195,13 +203,18 @@ func testContinuousFlow(t *testing.T, proc sps.Processor) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer job.Stop()
-	for round := 0; round < 3; round++ {
+	defer func() {
+		if err := job.Stop(); err != nil {
+			t.Errorf("%s: stop: %v", proc.Name(), err)
+		}
+	}()
+	// Each round's records must come out before the next round goes in:
+	// stronger than one bulk check, and needs no pacing sleeps.
+	for round := 1; round <= 3; round++ {
 		h.Produce(t, 5)
-		time.Sleep(5 * time.Millisecond)
-	}
-	out := h.CollectOutput(t, 15, 10*time.Second)
-	if len(out) != 15 {
-		t.Fatalf("%s: got %d records, want 15", proc.Name(), len(out))
+		out := h.CollectOutput(t, 5*round, 10*time.Second)
+		if len(out) != 5*round {
+			t.Fatalf("%s: round %d: got %d records, want %d", proc.Name(), round, len(out), 5*round)
+		}
 	}
 }

@@ -67,7 +67,7 @@ func (s *Snapshot) WriteText(w io.Writer, prev *Snapshot) error {
 // Format renders the snapshot as text without rate annotations.
 func (s *Snapshot) Format() string {
 	var b strings.Builder
-	s.WriteText(&b, nil)
+	_ = s.WriteText(&b, nil)
 	return b.String()
 }
 
@@ -104,7 +104,7 @@ func Dump(w io.Writer, r *Registry, interval time.Duration) (stop func()) {
 			}
 			snap := r.Snapshot()
 			fmt.Fprintf(w, "--- telemetry @ %s ---\n", snap.At.Format("15:04:05.000"))
-			snap.WriteText(w, prev)
+			_ = snap.WriteText(w, prev)
 			prev = snap
 		}
 	}()

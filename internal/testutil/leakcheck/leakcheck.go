@@ -1,0 +1,112 @@
+// Package leakcheck fails a test binary that exits with goroutines still
+// running. Stream-processor jobs, serving daemons, and broker clients all
+// own background goroutines; the gorolifecycle analyzer proves each one
+// has a join in the source, and this package proves the joins actually
+// fire: after the last test finishes, the only goroutines left must be
+// the runtime's own.
+//
+// Wire it into a package with a one-line TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// Detection diffs runtime.Stack(all=true) against a list of known-stable
+// stacks instead of counting goroutines, so the failure message names the
+// leaked stacks. A grace period with retries absorbs goroutines that are
+// already unwinding when the check starts.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stable marks goroutine stacks that are expected to outlive tests: the
+// test harness itself, runtime housekeeping, and signal plumbing.
+var stable = []string{
+	"testing.Main(",
+	"testing.(*M).Run",
+	"testing.runTests",
+	"testing.(*T).Run", // parent parked in t.Run waiting on a subtest
+	"runtime.goexit0",
+	"runtime.gc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.ensureSigM",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+}
+
+// Main runs the package's tests, then fails the binary if goroutines
+// leak. It does not return.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(2 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check waits up to grace for the goroutine set to settle down to only
+// stable goroutines. It returns an error listing the leaked stacks if
+// any survive the grace period.
+func Check(grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	wait := time.Millisecond
+	for {
+		leaked := leakedStacks()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d goroutine(s) leaked:\n\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+		// Back off: goroutines that are merely slow to unwind resolve
+		// in the first retries; real leaks wait out the full grace.
+		time.Sleep(wait)
+		if wait < 100*time.Millisecond {
+			wait *= 2
+		}
+	}
+}
+
+// leakedStacks snapshots all goroutine stacks and drops the stable ones.
+func leakedStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || isStable(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+func isStable(stack string) bool {
+	if strings.HasPrefix(stack, "goroutine ") && strings.Contains(stack, "[running]") {
+		return true // the goroutine running this check
+	}
+	for _, marker := range stable {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}

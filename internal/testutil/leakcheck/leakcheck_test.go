@@ -1,0 +1,36 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) { Main(m) }
+
+func TestCheckCatchesParkedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		<-release
+	}()
+	<-parked
+	err := Check(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("parked goroutine not reported")
+	}
+	if !strings.Contains(err.Error(), "leakcheck_test") {
+		t.Errorf("leak report does not name the leaking function:\n%v", err)
+	}
+	close(release)
+	if err := Check(2 * time.Second); err != nil {
+		t.Errorf("goroutine exited but was still reported: %v", err)
+	}
+}
+
+func TestCheckCleanBaseline(t *testing.T) {
+	if err := Check(time.Second); err != nil {
+		t.Errorf("clean baseline reported a leak: %v", err)
+	}
+}

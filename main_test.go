@@ -1,0 +1,12 @@
+package crayfish_test
+
+import (
+	"testing"
+
+	"crayfish/internal/testutil/leakcheck"
+)
+
+// TestMain fails the integration suite if any run leaves goroutines
+// behind — every job, daemon, and client started by a test must be
+// joined by the time it returns.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -13,5 +13,6 @@ fi
 
 go build ./...
 go vet ./...
+go run ./cmd/crayfishlint ./...
 go test -race ./...
 CRAYFISH_BENCH_SCALE=0.05 go test -run NONE -bench . -benchtime=1x .

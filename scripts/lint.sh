@@ -1,0 +1,7 @@
+#!/bin/sh
+# Fast lint entry point: run the project's static-analysis suite
+# (see docs/STATIC_ANALYSIS.md) without the full check.sh pipeline.
+set -e
+cd "$(dirname "$0")/.."
+
+go run ./cmd/crayfishlint ./...
