@@ -40,6 +40,7 @@ import (
 	"crayfish/internal/broker"
 	"crayfish/internal/core"
 	"crayfish/internal/experiments"
+	"crayfish/internal/faults"
 	"crayfish/internal/gpu"
 	"crayfish/internal/modelfmt"
 	"crayfish/internal/netsim"
@@ -103,6 +104,43 @@ var LAN = netsim.LAN
 // Run executes one experiment on a private in-process broker.
 func Run(cfg Config) (*Result, error) {
 	return (&Runner{}).Run(cfg)
+}
+
+// Fault-injection types (docs/FAULTS.md): a FaultPlan is a reproducible
+// chaos schedule — message-fault rules applied at the broker boundary
+// and timed events that crash the serving daemon or degrade the scorer.
+type (
+	// FaultPlan is a seed-driven, replayable fault schedule.
+	FaultPlan = faults.Plan
+	// FaultRule is one message-fault clause (drop/duplicate/delay by
+	// per-topic sequence window).
+	FaultRule = faults.Rule
+	// FaultEvent is one timed fault (crash, restart, scorer-error or
+	// slow-replica window).
+	FaultEvent = faults.Event
+	// FaultKind names one fault type.
+	FaultKind = faults.Kind
+	// RecoveryResult is a recovery run's outcome: the usual Result plus
+	// the loss/duplication accounting and recovery timings.
+	RecoveryResult = core.RecoveryResult
+)
+
+// Fault kinds.
+const (
+	FaultDrop        = faults.Drop
+	FaultDuplicate   = faults.Duplicate
+	FaultDelay       = faults.Delay
+	FaultCrash       = faults.Crash
+	FaultRestart     = faults.Restart
+	FaultScorerError = faults.ScorerError
+	FaultSlowReplica = faults.SlowReplica
+)
+
+// RunRecovery executes one experiment while the fault plan fires and
+// reports time-to-recover plus the loss/duplication books. Recovery
+// runs always use a private in-process broker. See docs/FAULTS.md.
+func RunRecovery(cfg Config, plan FaultPlan) (*RecoveryResult, error) {
+	return (&Runner{}).RunRecovery(cfg, plan)
 }
 
 // NewTelemetry creates a live-metrics registry to attach to

@@ -14,11 +14,14 @@ import (
 // wall-clock read or ad-hoc sleep either bypasses the injected clock
 // (making timestamp tests nondeterministic) or adds unmodelled delay to
 // the measurement path — exactly the perturbation §4.3 verifies the
-// harness does not introduce.
+// harness does not introduce. The fault injector joins the list because
+// its event schedule and delay jitter must replay deterministically: a
+// stray wall-clock read there breaks the byte-identical fault log.
 var clockRestricted = []string{
 	"internal/broker",
 	"internal/netsim",
 	"internal/gpu",
+	"internal/faults",
 }
 
 // clockBanned is the set of time-package functions that must not be
@@ -37,7 +40,7 @@ var clockBanned = map[string]bool{
 func NewClockDiscipline() *Analyzer {
 	a := &Analyzer{
 		Name: "clockdiscipline",
-		Doc:  "timestamp-path packages (broker, netsim, gpu) must route time through the injected clock / network model",
+		Doc:  "timestamp-path packages (broker, netsim, gpu, faults) must route time through the injected clock / network model",
 	}
 	a.Run = func(pass *Pass) {
 		if !clockRestrictedPkg(pass.Pkg.ModRel) {

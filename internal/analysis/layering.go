@@ -7,22 +7,24 @@ import (
 
 // baseRel lists the module-relative packages that form the bottom of the
 // import DAG: pure leaf libraries (tensor math, the network model, the
-// telemetry registry, the GPU transfer model, the RPC codec, windowing)
-// that every higher layer may depend on and that therefore may import
-// nothing but the standard library. A base package that grows a module
-// dependency silently inverts the layering and eventually cycles.
+// telemetry registry, the GPU transfer model, the resilience primitives,
+// windowing) that every higher layer may depend on and that therefore may
+// import nothing but the standard library. A base package that grows a
+// module dependency silently inverts the layering and eventually cycles.
+// grpcish left the base when it gained retry support: it now sits one
+// layer up, importing internal/resilience.
 var baseRel = map[string]bool{
-	"internal/tensor":    true,
-	"internal/netsim":    true,
-	"internal/telemetry": true,
-	"internal/gpu":       true,
-	"internal/grpcish":   true,
-	"internal/window":    true,
+	"internal/tensor":     true,
+	"internal/netsim":     true,
+	"internal/telemetry":  true,
+	"internal/gpu":        true,
+	"internal/resilience": true,
+	"internal/window":     true,
 }
 
 // NewLayering enforces the import DAG the architecture docs promise:
 //
-//   - base packages (tensor, netsim, telemetry, gpu, grpcish, window)
+//   - base packages (tensor, netsim, telemetry, gpu, resilience, window)
 //     import only the standard library;
 //   - internal/core (the experiment driver) must not import any SPS
 //     engine package (internal/sps/<engine>) — engines are selected at

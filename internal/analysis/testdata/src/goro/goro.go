@@ -58,3 +58,38 @@ func JoinedBySend() <-chan int {
 	}()
 	return out
 }
+
+// supervisor mimics the external-serving restart supervisor: Restart
+// relaunches the daemon goroutine after a crash, and must keep the
+// WaitGroup join visible each time.
+type supervisor struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// Restart is the joined restart shape: every relaunch re-arms the
+// WaitGroup before spawning, so Close can still wait the daemon out.
+func (s *supervisor) Restart() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// RestartLeaky relaunches without re-arming any join — the classic
+// restart bug: the first incarnation was waited on, the second leaks.
+func (s *supervisor) RestartLeaky() {
+	go work() // want gorolifecycle
+}
+
+// RestartSignalled is the channel-signalled restart shape: the fresh
+// done channel closed by the goroutine body is the visible join.
+func (s *supervisor) RestartSignalled() {
+	s.done = make(chan struct{})
+	done := s.done
+	go func() {
+		defer close(done)
+		work()
+	}()
+}

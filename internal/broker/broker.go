@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"crayfish/internal/faults"
 	"crayfish/internal/netsim"
 	"crayfish/internal/telemetry"
 )
@@ -47,6 +48,13 @@ type Config struct {
 	// per-topic backlog gauges; see docs/OBSERVABILITY.md) into the
 	// given registry. Nil disables instrumentation at near-zero cost.
 	Metrics *telemetry.Registry
+	// Faults applies a deterministic fault plan at the produce boundary:
+	// per-record drop / duplicate / delay verdicts keyed by topic
+	// sequence numbers (see internal/faults and docs/FAULTS.md). Nil
+	// disables injection. Delivery stays at-least-once: duplicated
+	// records surface downstream and are deduplicated by the consumer's
+	// seen-set, dropped records are accounted by the injector.
+	Faults *faults.Injector
 }
 
 // DefaultConfig mirrors the paper's broker settings.
@@ -193,10 +201,37 @@ func (b *Broker) Produce(topicName string, partition int, recs []Record) (int64,
 		}
 		b.cfg.Network.Apply(bytes)
 	}
+	if b.cfg.Faults != nil {
+		recs = b.applyFaults(topicName, recs)
+	}
 	base := t.parts[partition].append(recs, b.cfg.Clock)
 	b.countAppend(t, recs)
 	t.appended()
 	return base, nil
+}
+
+// applyFaults asks the injector for a verdict per record: drops are
+// removed before the log append, duplicates appended twice, delays
+// served inline (the produce call is the network hop being faulted,
+// mirroring netsim.Profile.Apply).
+func (b *Broker) applyFaults(topicName string, recs []Record) []Record {
+	out := make([]Record, 0, len(recs))
+	var hold time.Duration
+	for i := range recs {
+		v := b.cfg.Faults.Message(topicName)
+		if v.Drop {
+			continue
+		}
+		hold += v.Delay
+		out = append(out, recs[i])
+		if v.Duplicate {
+			out = append(out, recs[i])
+		}
+	}
+	if hold > 0 {
+		time.Sleep(hold) //lint:allow clockdiscipline modelled fault delay, applied like netsim.Profile.Apply
+	}
+	return out
 }
 
 // AppendSignal returns a channel that is closed the next time records are

@@ -6,14 +6,35 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"crayfish/internal/resilience"
+	"crayfish/internal/telemetry"
 )
+
+// ErrUnavailable types every transport-level failure of the remote
+// client — dial failure, connection reset, torn frame, deadline — as
+// distinct from an error the broker itself returned. ErrUnavailable
+// errors are marked retryable (resilience.IsRetryable).
+var ErrUnavailable = errors.New("broker: unavailable")
+
+// DefaultCallTimeout bounds one remote round trip when WithCallTimeout
+// is not given.
+const DefaultCallTimeout = 30 * time.Second
 
 // RemoteClient is a Transport speaking the TCP wire protocol to a broker
 // Server. It maintains a small pool of connections; each request checks a
 // connection out for its synchronous round trip, so independent goroutines
-// proceed in parallel.
+// proceed in parallel. Transport faults surface as typed, retryable
+// ErrUnavailable errors; DialOptions add a retry policy and a circuit
+// breaker on top. Note that retrying a Produce after a torn response may
+// re-append records the broker already logged — delivery is
+// at-least-once, and the output consumer's seen-set deduplicates.
 type RemoteClient struct {
-	addr string
+	addr    string
+	timeout time.Duration
+	retry   *resilience.Retry
+	breaker *resilience.Breaker
 
 	mu     sync.Mutex
 	idle   []*remoteConn
@@ -26,9 +47,74 @@ type remoteConn struct {
 	bw *bufio.Writer
 }
 
+// DialOption configures a RemoteClient.
+type DialOption func(*RemoteClient)
+
+// WithCallTimeout sets the per-round-trip deadline (default
+// DefaultCallTimeout); d ≤ 0 disables deadlines entirely.
+func WithCallTimeout(d time.Duration) DialOption {
+	return func(rc *RemoteClient) { rc.timeout = d }
+}
+
+// WithRetry retries transport failures (ErrUnavailable) with the given
+// policy; errors returned by the broker itself are never retried.
+func WithRetry(r *resilience.Retry) DialOption {
+	return func(rc *RemoteClient) { rc.retry = r }
+}
+
+// WithBreaker guards every round trip with the circuit breaker: failed
+// trips count toward opening it, shed calls fail fast with a retryable
+// resilience.ErrOpen.
+func WithBreaker(b *resilience.Breaker) DialOption {
+	return func(rc *RemoteClient) { rc.breaker = b }
+}
+
+// WithMetrics publishes the client's resilience counters (retries, shed
+// calls, breaker state; see docs/OBSERVABILITY.md) into reg by chaining
+// observers onto the client's Retry and Breaker. Options compose in
+// order, so pass WithMetrics after WithRetry / WithBreaker.
+func WithMetrics(reg *telemetry.Registry) DialOption {
+	return func(rc *RemoteClient) {
+		if reg == nil {
+			return
+		}
+		if rc.retry != nil {
+			retries := reg.Counter("resilience.retries.broker")
+			prev := rc.retry.OnAttempt
+			rc.retry.OnAttempt = func(attempt int, err error) {
+				retries.Inc()
+				if prev != nil {
+					prev(attempt, err)
+				}
+			}
+		}
+		if rc.breaker != nil {
+			shed := reg.Counter("resilience.shed.broker")
+			state := reg.Gauge("resilience.breaker.state.broker")
+			prevShed := rc.breaker.OnShed
+			rc.breaker.OnShed = func() {
+				shed.Inc()
+				if prevShed != nil {
+					prevShed()
+				}
+			}
+			prevChange := rc.breaker.OnChange
+			rc.breaker.OnChange = func(from, to resilience.State) {
+				state.Set(int64(to))
+				if prevChange != nil {
+					prevChange(from, to)
+				}
+			}
+		}
+	}
+}
+
 // Dial connects to a broker server.
-func Dial(addr string) (*RemoteClient, error) {
-	rc := &RemoteClient{addr: addr}
+func Dial(addr string, opts ...DialOption) (*RemoteClient, error) {
+	rc := &RemoteClient{addr: addr, timeout: DefaultCallTimeout}
+	for _, o := range opts {
+		o(rc)
+	}
 	// Validate connectivity eagerly so misconfiguration fails fast.
 	conn, err := rc.checkout()
 	if err != nil {
@@ -65,13 +151,26 @@ func (rc *RemoteClient) checkout() (*remoteConn, error) {
 	rc.mu.Unlock()
 	conn, err := net.Dial("tcp", rc.addr)
 	if err != nil {
-		return nil, fmt.Errorf("broker: dial %s: %w", rc.addr, err)
+		return nil, resilience.MarkRetryable(fmt.Errorf("broker: dial %s: %w: %w", rc.addr, ErrUnavailable, err))
 	}
 	return &remoteConn{
 		c:  conn,
 		br: bufio.NewReaderSize(conn, 64<<10),
 		bw: bufio.NewWriterSize(conn, 64<<10),
 	}, nil
+}
+
+// flushIdle drops every pooled connection: after one transport failure
+// the rest of the pool points at the same dead broker (e.g. across a
+// restart), so the next call must redial rather than inherit a corpse.
+func (rc *RemoteClient) flushIdle() {
+	rc.mu.Lock()
+	idle := rc.idle
+	rc.idle = nil
+	rc.mu.Unlock()
+	for _, c := range idle {
+		c.c.Close()
+	}
 }
 
 func (rc *RemoteClient) checkin(c *remoteConn) {
@@ -84,32 +183,62 @@ func (rc *RemoteClient) checkin(c *remoteConn) {
 	rc.idle = append(rc.idle, c)
 }
 
-// call performs one synchronous request/response round trip.
+// call performs one synchronous request/response round trip under the
+// client's resilience policy. Transport faults (typed ErrUnavailable,
+// retryable) are retried and count toward the breaker; errors the
+// broker itself returned prove it is up, so they do neither.
 func (rc *RemoteClient) call(req *wireRequest) (*wireResponse, error) {
+	var resp *wireResponse
+	err := resilience.Run(rc.retry, rc.breaker, func() error {
+		r, terr := rc.callOnce(req)
+		if terr != nil {
+			return terr
+		}
+		resp = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		if resp.Rebalance {
+			return resp, ErrRebalance
+		}
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// callOnce is one wire round trip; every failure is a transport fault.
+func (rc *RemoteClient) callOnce(req *wireRequest) (*wireResponse, error) {
 	conn, err := rc.checkout()
 	if err != nil {
 		return nil, err
 	}
+	if rc.timeout > 0 {
+		//lint:allow clockdiscipline socket I/O deadlines are wall-clock by net.Conn contract, not measurement timestamps
+		conn.c.SetDeadline(time.Now().Add(rc.timeout))
+	}
 	if err := writeFrame(conn.bw, req); err != nil {
 		conn.c.Close()
-		return nil, err
+		rc.flushIdle()
+		return nil, resilience.MarkRetryable(fmt.Errorf("broker: write: %w: %w", ErrUnavailable, err))
 	}
 	if err := conn.bw.Flush(); err != nil {
 		conn.c.Close()
-		return nil, err
+		rc.flushIdle()
+		return nil, resilience.MarkRetryable(fmt.Errorf("broker: write: %w: %w", ErrUnavailable, err))
 	}
 	var resp wireResponse
 	if err := readFrame(conn.br, &resp); err != nil {
 		conn.c.Close()
-		return nil, err
+		rc.flushIdle()
+		return nil, resilience.MarkRetryable(fmt.Errorf("broker: read: %w: %w", ErrUnavailable, err))
+	}
+	if rc.timeout > 0 {
+		conn.c.SetDeadline(time.Time{})
 	}
 	rc.checkin(conn)
-	if resp.Err != "" {
-		if resp.Rebalance {
-			return &resp, ErrRebalance
-		}
-		return &resp, errors.New(resp.Err)
-	}
 	return &resp, nil
 }
 

@@ -2,10 +2,14 @@ package broker
 
 import (
 	"encoding/binary"
+	"errors"
 	"math/rand"
 	"net"
 	"testing"
 	"time"
+
+	"crayfish/internal/faults"
+	"crayfish/internal/resilience"
 )
 
 // TestServerSurvivesGarbageBytes throws random byte streams at the broker
@@ -231,5 +235,123 @@ func TestRetentionUnboundedByDefault(t *testing.T) {
 	start, err := b.StartOffset("t", 0)
 	if err != nil || start != 0 {
 		t.Fatalf("start = %d, %v", start, err)
+	}
+}
+
+// TestClientReconnectsAfterBrokerRestart kills the broker's TCP server
+// under a retry-enabled client and brings it back on the same address:
+// the in-flight call must ride the restart out through the typed
+// retryable dial/transport errors.
+func TestClientReconnectsAfterBrokerRestart(t *testing.T) {
+	b := New(DefaultConfig())
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	rc, err := Dial(addr, WithRetry(&resilience.Retry{
+		Attempts:  40,
+		BaseDelay: 5 * time.Millisecond,
+		MaxDelay:  25 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, err := rc.Produce("t", 0, []Record{{Value: []byte("before")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: close the server, bring it back on the same address a
+	// beat later. The broker state (topics, logs) survives — only the
+	// transport goes away, as in a rolling broker restart.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restarted := make(chan *Server, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		srv2, err := Serve(b, addr)
+		if err != nil {
+			t.Error(err)
+			restarted <- nil
+			return
+		}
+		restarted <- srv2
+	}()
+	if _, err := rc.Produce("t", 0, []Record{{Value: []byte("after")}}); err != nil {
+		t.Fatalf("produce across the restart: %v", err)
+	}
+	srv2 := <-restarted
+	if srv2 == nil {
+		t.FailNow()
+	}
+	defer srv2.Close()
+	end, err := b.EndOffset("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 2 {
+		t.Fatalf("log holds %d records, want 2 (no loss, no duplicate)", end)
+	}
+}
+
+// TestTornFrameSurfacesTypedRetryableError reads a response through a
+// fault proxy that severs the stream mid-frame: the client must surface
+// a typed retryable ErrUnavailable (a partial read is a transport
+// fault), and a retry-enabled client must recover on a fresh
+// connection.
+func TestTornFrameSurfacesTypedRetryableError(t *testing.T) {
+	b := New(DefaultConfig())
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	proxy, err := faults.NewProxy(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Bare client: the torn frame must surface typed, not as a decode
+	// error or a hang.
+	rc, err := Dial(proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.TearAfter(2) // two bytes of the response length prefix, then cut
+	_, err = rc.Produce("t", 0, []Record{{Value: []byte("torn")}})
+	if err == nil {
+		t.Fatal("torn mid-frame response returned success")
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("torn frame error = %v, want ErrUnavailable", err)
+	}
+	if !resilience.IsRetryable(err) {
+		t.Fatalf("torn frame error not marked retryable: %v", err)
+	}
+	_ = rc.Close()
+
+	// Retry-enabled client: same fault, but the second attempt runs on a
+	// fresh connection and succeeds.
+	rc2, err := Dial(proxy.Addr(), WithRetry(&resilience.Retry{
+		Attempts:  5,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  5 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc2.Close()
+	proxy.TearAfter(2)
+	if _, err := rc2.Produce("t", 0, []Record{{Value: []byte("retried")}}); err != nil {
+		t.Fatalf("retry across torn frame: %v", err)
 	}
 }

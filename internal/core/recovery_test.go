@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"crayfish/internal/faults"
+	"crayfish/internal/telemetry"
+)
+
+// recoveryConfig pins MaxEvents so the fault plan's per-sequence message
+// verdicts hit the same records in every run.
+func recoveryConfig(engine string, serving ServingConfig) Config {
+	cfg := quickConfig(engine, serving)
+	cfg.Workload.MaxEvents = 120
+	cfg.Workload.InputRate = 600
+	cfg.Workload.Duration = time.Second
+	return cfg
+}
+
+func messagePlan() faults.Plan {
+	return faults.Plan{
+		Seed: 42,
+		Rules: []faults.Rule{
+			{Topic: InputTopic, Kind: faults.Drop, FromSeq: 10, ToSeq: 16},
+			{Topic: InputTopic, Kind: faults.Duplicate, FromSeq: 40, ToSeq: 44},
+			{Topic: InputTopic, Kind: faults.Delay, FromSeq: 60, ToSeq: 64, Delay: time.Millisecond},
+		},
+	}
+}
+
+// TestRunRecoveryAccountsMessageFaults drops, duplicates, and delays
+// records at the broker boundary and checks the books balance: nothing
+// lost beyond the planned drops, every duplicate deduplicated by the
+// consumer's seen-set.
+func TestRunRecoveryAccountsMessageFaults(t *testing.T) {
+	r := &Runner{}
+	cfg := recoveryConfig("flink", ServingConfig{Mode: Embedded, Tool: "onnx"})
+	cfg.Telemetry = telemetry.New()
+	res, err := r.RunRecovery(cfg, messagePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.EngineErr != nil {
+		t.Fatalf("engine error: %v", res.Result.EngineErr)
+	}
+	if res.Produced != 120 {
+		t.Fatalf("produced %d, want 120", res.Produced)
+	}
+	if res.Dropped != 6 {
+		t.Fatalf("dropped %d, want 6", res.Dropped)
+	}
+	if !res.Recovered || res.Lost != 0 {
+		t.Fatalf("recovered=%v lost=%d, want clean recovery", res.Recovered, res.Lost)
+	}
+	if res.Accounted != res.Produced-res.Dropped {
+		t.Fatalf("accounted %d of %d survivors", res.Accounted, res.Produced-res.Dropped)
+	}
+	// 4 duplicated records reach the consumer twice; the seen-set
+	// filters them out of the measurement.
+	if res.Duplicated != 4 {
+		t.Fatalf("duplicated %d, want 4", res.Duplicated)
+	}
+	snap := res.Result.Telemetry
+	if snap == nil {
+		t.Fatal("no telemetry snapshot")
+	}
+	counters := snap.Counters
+	if counters["faults.injected.drop"] != 6 || counters["faults.injected.duplicate"] != 4 {
+		t.Fatalf("faults.injected counters: %v", counters)
+	}
+	if counters["consumer.duplicates"] != 4 {
+		t.Fatalf("consumer.duplicates = %d, want 4", counters["consumer.duplicates"])
+	}
+}
+
+// TestRunRecoveryDeterministicReplay runs the same plan over the same
+// pinned workload twice: the fault logs must be byte-identical and the
+// loss/duplication accounting equal — the package's replay contract.
+func TestRunRecoveryDeterministicReplay(t *testing.T) {
+	plan := messagePlan()
+	cfg := recoveryConfig("kafka-streams", ServingConfig{Mode: Embedded, Tool: "onnx"})
+	run := func() *RecoveryResult {
+		t.Helper()
+		res, err := (&Runner{}).RunRecovery(cfg, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.FaultLog != b.FaultLog {
+		t.Fatalf("fault logs differ:\n--- run 1\n%s--- run 2\n%s", a.FaultLog, b.FaultLog)
+	}
+	if a.FaultLog == "" {
+		t.Fatal("empty fault log")
+	}
+	if a.Dropped != b.Dropped || a.Duplicated != b.Duplicated || a.Lost != b.Lost {
+		t.Fatalf("accounting differs: run1 drop=%d dup=%d lost=%d, run2 drop=%d dup=%d lost=%d",
+			a.Dropped, a.Duplicated, a.Lost, b.Dropped, b.Duplicated, b.Lost)
+	}
+}
+
+// TestRunRecoveryScorerErrorWindow opens a scorer-error window mid-run:
+// the job-level retry policy must ride it out with zero lost records,
+// and the degraded-window stats must cover the outage.
+func TestRunRecoveryScorerErrorWindow(t *testing.T) {
+	r := &Runner{}
+	cfg := recoveryConfig("flink", ServingConfig{Mode: Embedded, Tool: "onnx"})
+	cfg.Telemetry = telemetry.New()
+	plan := faults.Plan{
+		Seed: 7,
+		Events: []faults.Event{
+			{Kind: faults.ScorerError, At: 20 * time.Millisecond, Duration: 60 * time.Millisecond, Target: "onnx"},
+		},
+	}
+	res, err := r.RunRecovery(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.EngineErr != nil {
+		t.Fatalf("engine error: %v", res.Result.EngineErr)
+	}
+	if !res.Recovered || res.Lost != 0 {
+		t.Fatalf("recovered=%v lost=%d after scorer-error window", res.Recovered, res.Lost)
+	}
+	snap := res.Result.Telemetry
+	retries := snap.Counters["sps.score.retries"]
+	injected := snap.Counters["faults.injected.scorer-error"]
+	if injected == 0 {
+		t.Fatal("scorer-error window never fired")
+	}
+	if retries == 0 {
+		t.Fatal("no sps.score.retries recorded while riding out the window")
+	}
+}
+
+// TestRunRecoveryExternalCrashRestart crashes the external serving
+// daemon mid-run and restarts it: the resilient client (retry + breaker)
+// and the job retry policy must deliver every surviving record.
+func TestRunRecoveryExternalCrashRestart(t *testing.T) {
+	r := &Runner{}
+	cfg := recoveryConfig("kafka-streams", ServingConfig{Mode: External, Tool: "tf-serving"})
+	cfg.Telemetry = telemetry.New()
+	plan := faults.Plan{
+		Seed: 7,
+		Events: []faults.Event{
+			{Kind: faults.Crash, At: 30 * time.Millisecond, Target: "tf-serving"},
+			{Kind: faults.Restart, At: 120 * time.Millisecond, Duration: 0, Target: "tf-serving"},
+		},
+	}
+	res, err := r.RunRecovery(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.EngineErr != nil {
+		t.Fatalf("engine error: %v", res.Result.EngineErr)
+	}
+	if !res.Recovered || res.Lost != 0 {
+		t.Fatalf("recovered=%v lost=%d after daemon crash/restart", res.Recovered, res.Lost)
+	}
+	counters := res.Result.Telemetry.Counters
+	if counters["faults.injected.crash"] != 1 || counters["faults.injected.restart"] != 1 {
+		t.Fatalf("lifecycle events: crash=%d restart=%d", counters["faults.injected.crash"], counters["faults.injected.restart"])
+	}
+	// The crash window must actually have exercised the resilient
+	// client: either the client retried or the job-level policy did.
+	if counters["resilience.retries.tf-serving"] == 0 && counters["sps.score.retries"] == 0 {
+		t.Fatal("no retries recorded across the daemon outage")
+	}
+}

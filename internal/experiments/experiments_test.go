@@ -160,9 +160,30 @@ func TestAblationsTiny(t *testing.T) {
 	}
 }
 
+func TestRecoveryTiny(t *testing.T) {
+	r, err := RecoveryFaultInjection(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[2] != "120" {
+			t.Fatalf("produced %q, want 120: %v", row[2], row)
+		}
+		if row[3] != "6" || row[4] != "4" {
+			t.Fatalf("message-fault books off: %v", row)
+		}
+		if row[5] != "0" {
+			t.Fatalf("records lost beyond planned drops: %v", row)
+		}
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	defs := All()
-	if len(defs) != 19 {
+	if len(defs) != 20 {
 		t.Fatalf("registry has %d experiments", len(defs))
 	}
 	seen := map[string]bool{}

@@ -34,6 +34,7 @@ func All() []Definition {
 		{"ablation-asyncio", "Blocking vs async I/O external calls", AblationAsyncIO},
 		{"ablation-kernels", "Accelerator kernel paths", AblationFastKernels},
 		{"ablation-network", "Loopback vs modelled LAN", AblationNetworkRealism},
+		{"recovery", "Fault injection and recovery", RecoveryFaultInjection},
 	}
 }
 

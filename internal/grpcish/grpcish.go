@@ -3,6 +3,13 @@
 // TorchServe). It provides unary calls over TCP with length-prefixed binary
 // frames, per-method dispatch, deadlines, and client-side connection
 // pooling. Payloads are opaque bytes; services define their own codecs.
+//
+// Fault semantics: every transport failure (dial, reset, torn frame,
+// deadline) surfaces as a typed ErrUnavailable marked retryable
+// (resilience.IsRetryable); application errors returned by remote
+// handlers are plain errors. Calls carry DefaultCallTimeout unless
+// WithTimeout overrides it, and WithRetry / WithBreaker wire the
+// client-side resilience policy into every Call.
 package grpcish
 
 import (
@@ -14,13 +21,26 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"crayfish/internal/resilience"
 )
 
 // maxFrame bounds one RPC frame.
 const maxFrame = 96 << 20
 
+// DefaultCallTimeout bounds one Call when WithTimeout is not given: no
+// hung daemon may wedge a run (a hang is indistinguishable from a
+// crash without a deadline).
+const DefaultCallTimeout = 30 * time.Second
+
 // ErrClosed is returned for operations on a closed client or server.
 var ErrClosed = errors.New("grpcish: closed")
+
+// ErrUnavailable types every transport-level call failure — connection
+// reset, torn frame, dial failure, deadline — as distinct from an
+// application error returned by the remote handler. ErrUnavailable
+// errors are marked retryable (resilience.IsRetryable).
+var ErrUnavailable = errors.New("grpcish: unavailable")
 
 // Status codes carried in response frames.
 const (
@@ -230,6 +250,8 @@ func readResponse(r io.Reader) (byte, []byte, error) {
 type Client struct {
 	addr    string
 	timeout time.Duration
+	retry   *resilience.Retry
+	breaker *resilience.Breaker
 
 	mu     sync.Mutex
 	idle   []*clientConn
@@ -245,14 +267,28 @@ type clientConn struct {
 // DialOption configures a Client.
 type DialOption func(*Client)
 
-// WithTimeout sets a per-call deadline (default: none).
+// WithTimeout sets the per-call deadline (default DefaultCallTimeout);
+// d ≤ 0 disables deadlines entirely.
 func WithTimeout(d time.Duration) DialOption {
 	return func(c *Client) { c.timeout = d }
 }
 
+// WithRetry retries transport failures (ErrUnavailable) with the given
+// policy; application errors are never retried.
+func WithRetry(r *resilience.Retry) DialOption {
+	return func(c *Client) { c.retry = r }
+}
+
+// WithBreaker guards every Call with the circuit breaker: failed calls
+// count toward opening it, and shed calls fail fast with a retryable
+// resilience.ErrOpen.
+func WithBreaker(b *resilience.Breaker) DialOption {
+	return func(c *Client) { c.breaker = b }
+}
+
 // Dial connects to addr, validating connectivity eagerly.
 func Dial(addr string, opts ...DialOption) (*Client, error) {
-	c := &Client{addr: addr}
+	c := &Client{addr: addr, timeout: DefaultCallTimeout}
 	for _, o := range opts {
 		o(c)
 	}
@@ -291,9 +327,22 @@ func (c *Client) checkout() (*clientConn, error) {
 	c.mu.Unlock()
 	conn, err := net.Dial("tcp", c.addr)
 	if err != nil {
-		return nil, fmt.Errorf("grpcish: dial %s: %w", c.addr, err)
+		return nil, resilience.MarkRetryable(fmt.Errorf("grpcish: dial %s: %w: %w", c.addr, ErrUnavailable, err))
 	}
 	return &clientConn{c: conn, br: bufio.NewReaderSize(conn, 64<<10), bw: bufio.NewWriterSize(conn, 64<<10)}, nil
+}
+
+// flushIdle drops every pooled connection: after one transport failure
+// the rest of the pool points at the same dead peer (e.g. a restarted
+// daemon), so the next call must redial rather than inherit a corpse.
+func (c *Client) flushIdle() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.c.Close()
+	}
 }
 
 func (c *Client) checkin(cc *clientConn) {
@@ -306,35 +355,75 @@ func (c *Client) checkin(cc *clientConn) {
 	c.idle = append(c.idle, cc)
 }
 
-// Call performs one unary RPC. An application error returned by the remote
-// handler comes back as an error whose message is the handler's.
+// Call performs one unary RPC under the client's resilience policy:
+// transport failures are typed ErrUnavailable (retryable) and retried
+// when WithRetry is set; WithBreaker sheds calls while the circuit is
+// open. An application error returned by the remote handler comes back
+// as a plain (non-retryable) error whose message is the handler's — it
+// proves the peer is up, so it neither retries nor trips the breaker.
 func (c *Client) Call(method string, req []byte) ([]byte, error) {
-	cc, err := c.checkout()
+	var resp []byte
+	var appErr error
+	err := resilience.Run(c.retry, c.breaker, func() error {
+		payload, aerr, terr := c.callOnce(method, req)
+		if terr != nil {
+			return terr
+		}
+		resp, appErr = payload, aerr
+		return nil
+	})
 	if err != nil {
 		return nil, err
+	}
+	if appErr != nil {
+		return nil, appErr
+	}
+	return resp, nil
+}
+
+// unavailable types err as a retryable transport failure.
+func unavailable(stage string, err error) error {
+	return resilience.MarkRetryable(fmt.Errorf("grpcish: %s: %w: %w", stage, ErrUnavailable, err))
+}
+
+// callOnce performs one wire round trip, separating application errors
+// (the peer answered, second return) from transport faults (the peer is
+// unreachable, third return).
+func (c *Client) callOnce(method string, req []byte) ([]byte, error, error) {
+	if total := 2 + len(method) + len(req); total > maxFrame {
+		// Caller bug, not a transport fault: fail before touching a
+		// connection so it is neither retried nor counted as unavailable.
+		return nil, fmt.Errorf("grpcish: request of %d bytes exceeds frame limit", total), nil
+	}
+	cc, err := c.checkout()
+	if err != nil {
+		return nil, nil, err
 	}
 	if c.timeout > 0 {
 		cc.c.SetDeadline(time.Now().Add(c.timeout))
 	}
 	if err := writeRequest(cc.bw, method, req); err != nil {
 		cc.c.Close()
-		return nil, err
+		c.flushIdle()
+		return nil, nil, unavailable("write", err)
 	}
 	if err := cc.bw.Flush(); err != nil {
 		cc.c.Close()
-		return nil, err
+		c.flushIdle()
+		return nil, nil, unavailable("write", err)
 	}
 	status, payload, err := readResponse(cc.br)
 	if err != nil {
 		cc.c.Close()
-		return nil, err
+		c.flushIdle()
+		return nil, nil, unavailable("read", err)
 	}
 	if c.timeout > 0 {
 		cc.c.SetDeadline(time.Time{})
 	}
 	c.checkin(cc)
 	if status != statusOK {
-		return nil, fmt.Errorf("grpcish: remote error: %s", payload)
+		return nil, fmt.Errorf("grpcish: remote error: %s", payload), nil
 	}
-	return payload, nil
+	return payload, nil, nil
 }

@@ -18,6 +18,7 @@
 package external
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"crayfish/internal/model"
 	"crayfish/internal/modelfmt"
 	"crayfish/internal/netsim"
+	"crayfish/internal/resilience"
 	"crayfish/internal/serving"
 	"crayfish/internal/telemetry"
 )
@@ -156,16 +158,100 @@ func Start(cfg Config) (Server, error) {
 	}
 }
 
+// ErrUnavailable types transport-level failures of the HTTP-based
+// clients (Ray Serve), matching grpcish.ErrUnavailable for the RPC-based
+// ones; both are marked retryable (resilience.IsRetryable).
+var ErrUnavailable = errors.New("external: serving daemon unavailable")
+
+// DefaultClientTimeout bounds one serving request when ClientOptions
+// does not override it: a hung daemon must fail the call, not wedge the
+// run.
+const DefaultClientTimeout = 30 * time.Second
+
+// ClientOptions tunes the resilience policy of an external-serving
+// client. The zero value gives every request the default deadline with
+// no retries and no breaker.
+type ClientOptions struct {
+	// Timeout bounds every request (default DefaultClientTimeout);
+	// negative disables deadlines entirely.
+	Timeout time.Duration
+	// Retry retries transport failures (connection loss, daemon crash,
+	// deadline); application errors are never retried.
+	Retry *resilience.Retry
+	// Breaker sheds calls fast while the daemon stays down and probes
+	// for recovery after its cooldown.
+	Breaker *resilience.Breaker
+	// Metrics publishes the client's resilience telemetry — retry
+	// counts, shed calls, breaker state (resilience.*.<client>; see
+	// docs/OBSERVABILITY.md) — by chaining observers onto Retry and
+	// Breaker.
+	Metrics *telemetry.Registry
+}
+
+// timeout resolves the configured deadline (0 = disabled).
+func (o ClientOptions) timeout() time.Duration {
+	if o.Timeout < 0 {
+		return 0
+	}
+	if o.Timeout == 0 {
+		return DefaultClientTimeout
+	}
+	return o.Timeout
+}
+
+// bindMetrics chains telemetry observers onto the Retry and Breaker,
+// preserving any caller-installed hooks.
+func (o *ClientOptions) bindMetrics(kind Kind) {
+	if o.Metrics == nil {
+		return
+	}
+	if o.Retry != nil {
+		retries := o.Metrics.Counter("resilience.retries." + string(kind))
+		prev := o.Retry.OnAttempt
+		o.Retry.OnAttempt = func(attempt int, err error) {
+			retries.Inc()
+			if prev != nil {
+				prev(attempt, err)
+			}
+		}
+	}
+	if o.Breaker != nil {
+		shed := o.Metrics.Counter("resilience.shed." + string(kind))
+		state := o.Metrics.Gauge("resilience.breaker.state." + string(kind))
+		prevShed := o.Breaker.OnShed
+		o.Breaker.OnShed = func() {
+			shed.Inc()
+			if prevShed != nil {
+				prevShed()
+			}
+		}
+		prevChange := o.Breaker.OnChange
+		o.Breaker.OnChange = func(from, to resilience.State) {
+			state.Set(int64(to))
+			if prevChange != nil {
+				prevChange(from, to)
+			}
+		}
+	}
+}
+
 // DialClient connects a Scorer client to a running daemon of the given
-// kind, discovering the model's shape from the metadata endpoint.
+// kind with the default resilience policy (deadline only).
 func DialClient(kind Kind, addr string) (ScorerClient, error) {
+	return DialClientOpts(kind, addr, ClientOptions{})
+}
+
+// DialClientOpts connects a Scorer client with an explicit resilience
+// policy, discovering the model's shape from the metadata endpoint.
+func DialClientOpts(kind Kind, addr string, o ClientOptions) (ScorerClient, error) {
+	o.bindMetrics(kind)
 	switch kind {
 	case TFServing:
-		return dialTFServing(addr)
+		return dialTFServing(addr, o)
 	case TorchServe:
-		return dialTorchServe(addr)
+		return dialTorchServe(addr, o)
 	case RayServe:
-		return dialRayServe(addr)
+		return dialRayServe(addr, o)
 	default:
 		return nil, fmt.Errorf("external: unknown framework %q", kind)
 	}

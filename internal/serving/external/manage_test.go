@@ -111,7 +111,7 @@ func TestTorchServeRemoteScaling(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Metadata reflects the new pool size.
-	raw, err := dialTorchServe(srv.Addr())
+	raw, err := dialTorchServe(srv.Addr(), ClientOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"crayfish/internal/model"
+	"crayfish/internal/resilience"
 	"crayfish/internal/serving"
 	"crayfish/internal/serving/embedded"
 )
@@ -305,17 +306,21 @@ func (s *rayServer) handleMetadata(w http.ResponseWriter, r *http.Request) {
 // rayClient talks HTTP + JSON to a rayServer, as the paper's Ray adapter
 // does (gRPC support in Ray Serve was experimental, §3.4.4).
 type rayClient struct {
-	base string
-	hc   *http.Client
-	meta metadata
+	base    string
+	hc      *http.Client
+	meta    metadata
+	retry   *resilience.Retry
+	breaker *resilience.Breaker
 }
 
-func dialRayServe(addr string) (ScorerClient, error) {
+func dialRayServe(addr string, o ClientOptions) (ScorerClient, error) {
 	hc := &http.Client{
 		Transport: &http.Transport{MaxIdleConnsPerHost: 128},
-		Timeout:   0,
+		// Every request carries the configured deadline: a hung daemon
+		// fails the call instead of wedging the run.
+		Timeout: o.timeout(),
 	}
-	c := &rayClient{base: "http://" + addr, hc: hc}
+	c := &rayClient{base: "http://" + addr, hc: hc, retry: o.Retry, breaker: o.Breaker}
 	resp, err := hc.Get(c.base + "/-/routes")
 	if err != nil {
 		return nil, fmt.Errorf("ray-serve: metadata: %w", err)
@@ -350,7 +355,11 @@ func (c *rayClient) Close() error {
 	return nil
 }
 
-// Score implements serving.Scorer over HTTP.
+// Score implements serving.Scorer over HTTP under the client's
+// resilience policy: connection-level failures (daemon down, reset,
+// deadline, torn body) are typed ErrUnavailable and retried; an HTTP
+// error status proves the daemon is up, so it neither retries nor trips
+// the breaker.
 func (c *rayClient) Score(inputs []float32, n int) ([]float32, error) {
 	if err := serving.ValidateBatch(inputs, n, c.meta.InputLen); err != nil {
 		return nil, err
@@ -359,20 +368,35 @@ func (c *rayClient) Score(inputs []float32, n int) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Post(c.base+"/predict", "application/json", bytes.NewReader(body))
+	var out []float32
+	var appErr error
+	err = resilience.Run(c.retry, c.breaker, func() error {
+		resp, err := c.hc.Post(c.base+"/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return resilience.MarkRetryable(fmt.Errorf("ray-serve: %w: %w", ErrUnavailable, err))
+		}
+		defer resp.Body.Close()
+		var rr rayResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			return resilience.MarkRetryable(fmt.Errorf("ray-serve: %w: %w", ErrUnavailable, err))
+		}
+		if resp.StatusCode != http.StatusOK {
+			appErr = fmt.Errorf("ray-serve: HTTP %d: %s", resp.StatusCode, rr.Error)
+			return nil
+		}
+		if len(rr.Predictions) != n*c.meta.OutputSize {
+			appErr = fmt.Errorf("ray-serve: response length %d, want %d", len(rr.Predictions), n*c.meta.OutputSize)
+			return nil
+		}
+		appErr = nil
+		out = rr.Predictions
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("ray-serve: %w", err)
+		return nil, err
 	}
-	defer resp.Body.Close()
-	var rr rayResponse
-	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-		return nil, fmt.Errorf("ray-serve: %w", err)
+	if appErr != nil {
+		return nil, appErr
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("ray-serve: HTTP %d: %s", resp.StatusCode, rr.Error)
-	}
-	if len(rr.Predictions) != n*c.meta.OutputSize {
-		return nil, fmt.Errorf("ray-serve: response length %d, want %d", len(rr.Predictions), n*c.meta.OutputSize)
-	}
-	return rr.Predictions, nil
+	return out, nil
 }

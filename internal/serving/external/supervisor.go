@@ -1,0 +1,118 @@
+package external
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Supervisor manages a serving daemon's crash/restart lifecycle for the
+// fault layer (internal/faults): Crash kills the running daemon while
+// keeping its bound address, and Restart brings a fresh daemon up on
+// that same address — so clients that retried through the outage
+// reconnect transparently, exactly as a supervised production daemon
+// would come back behind a stable endpoint.
+type Supervisor struct {
+	mu       sync.Mutex
+	cfg      Config
+	srv      Server
+	addr     string
+	crashes  int
+	restarts int
+	closed   bool
+}
+
+// NewSupervisor starts the daemon described by cfg and records the
+// address it bound, pinning every later Restart to it.
+func NewSupervisor(cfg Config) (*Supervisor, error) {
+	srv, err := Start(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Supervisor{cfg: cfg, srv: srv, addr: srv.Addr()}
+	// Restarts must rebind the recorded address, not pick a fresh
+	// ephemeral port.
+	s.cfg.Addr = s.addr
+	return s, nil
+}
+
+// Addr is the daemon's stable address, valid across crash/restart.
+func (s *Supervisor) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Server returns the currently running daemon, or nil while crashed.
+func (s *Supervisor) Server() Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.srv
+}
+
+// Running reports whether the daemon is currently up.
+func (s *Supervisor) Running() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.srv != nil
+}
+
+// Crash kills the running daemon, keeping its address for Restart.
+// Crashing while already down is a no-op.
+func (s *Supervisor) Crash() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.srv == nil {
+		return nil
+	}
+	srv := s.srv
+	s.srv = nil
+	s.crashes++
+	return srv.Close()
+}
+
+// Restart brings a fresh daemon up on the recorded address. Restarting
+// while already up is a no-op.
+func (s *Supervisor) Restart() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("external: supervisor closed")
+	}
+	if s.srv != nil {
+		return nil
+	}
+	srv, err := Start(s.cfg)
+	if err != nil {
+		// The crashed daemon's port can linger in the kernel briefly;
+		// surface that distinctly so callers can retry.
+		if strings.Contains(err.Error(), "address already in use") {
+			return fmt.Errorf("external: restart on %s raced the old socket: %w", s.addr, err)
+		}
+		return err
+	}
+	s.srv = srv
+	s.restarts++
+	return nil
+}
+
+// Lifecycle returns how many crashes and restarts the supervisor has
+// executed.
+func (s *Supervisor) Lifecycle() (crashes, restarts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashes, s.restarts
+}
+
+// Close stops the daemon (if up) and retires the supervisor.
+func (s *Supervisor) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.srv == nil {
+		return nil
+	}
+	srv := s.srv
+	s.srv = nil
+	return srv.Close()
+}

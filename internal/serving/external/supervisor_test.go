@@ -1,0 +1,128 @@
+package external
+
+import (
+	"testing"
+	"time"
+
+	"crayfish/internal/model"
+	"crayfish/internal/resilience"
+	"crayfish/internal/telemetry"
+)
+
+// TestSupervisorCrashRestartWithResilientClient is the end-to-end daemon
+// fault drill: crash the daemon under a dialed client, watch calls fail
+// typed-retryable and the breaker open, restart on the same address, and
+// watch the breaker's probe close the circuit again.
+func TestSupervisorCrashRestartWithResilientClient(t *testing.T) {
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			m := model.NewFFNN(1)
+			sup, err := NewSupervisor(Config{Kind: kind, Model: m, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sup.Close()
+			reg := telemetry.New()
+			breaker := &resilience.Breaker{FailureThreshold: 2, Cooldown: time.Millisecond}
+			c, err := DialClientOpts(kind, sup.Addr(), ClientOptions{
+				Timeout: 2 * time.Second,
+				Breaker: breaker,
+				Metrics: reg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			inputs := ffnnBatch(m, 2, 1)
+			if _, err := c.Score(inputs, 2); err != nil {
+				t.Fatalf("healthy score: %v", err)
+			}
+			if err := sup.Crash(); err != nil {
+				t.Fatalf("crash: %v", err)
+			}
+			if sup.Running() {
+				t.Fatal("supervisor still running after crash")
+			}
+			// Sustained failure: typed retryable errors, breaker opens.
+			sawTyped := false
+			for i := 0; i < 4 && breaker.State() != resilience.Open; i++ {
+				if _, err := c.Score(inputs, 2); err == nil {
+					t.Fatal("score against crashed daemon succeeded")
+				} else if resilience.IsRetryable(err) {
+					sawTyped = true
+				}
+			}
+			if !sawTyped {
+				t.Fatal("no typed retryable error during the outage")
+			}
+			if breaker.State() != resilience.Open {
+				t.Fatalf("breaker = %v under sustained daemon failure, want open", breaker.State())
+			}
+			if err := sup.Restart(); err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			if sup.Addr() != sup.Server().Addr() {
+				t.Fatalf("restart moved the address: %s -> %s", sup.Addr(), sup.Server().Addr())
+			}
+			// After the cooldown a probe call closes the circuit. A few
+			// attempts may be shed or race the restarting socket.
+			deadline := time.Now().Add(10 * time.Second)
+			for breaker.State() != resilience.Closed {
+				if time.Now().After(deadline) {
+					t.Fatalf("breaker never closed after restart (state %v)", breaker.State())
+				}
+				if _, err := c.Score(inputs, 2); err == nil {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if _, err := c.Score(inputs, 2); err != nil {
+				t.Fatalf("score after restart: %v", err)
+			}
+			if breaker.State() != resilience.Closed {
+				t.Fatalf("breaker = %v after recovery, want closed", breaker.State())
+			}
+			crashes, restarts := sup.Lifecycle()
+			if crashes != 1 || restarts != 1 {
+				t.Fatalf("lifecycle = %d crashes / %d restarts", crashes, restarts)
+			}
+			// The shed counter family must have registered under this
+			// client's name.
+			found := false
+			for _, name := range reg.Names() {
+				if name == "resilience.shed."+string(kind) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("resilience metrics not bound: %v", reg.Names())
+			}
+		})
+	}
+}
+
+// TestSupervisorCloseIsTerminal verifies Restart after Close fails and
+// double-Crash / double-Restart are no-ops.
+func TestSupervisorCloseIsTerminal(t *testing.T) {
+	m := model.NewFFNN(1)
+	sup, err := NewSupervisor(Config{Kind: TFServing, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Restart(); err != nil {
+		t.Fatalf("restart while running should be a no-op: %v", err)
+	}
+	if err := sup.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Crash(); err != nil {
+		t.Fatalf("second crash should be a no-op: %v", err)
+	}
+	if err := sup.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Restart(); err == nil {
+		t.Fatal("restart after close succeeded")
+	}
+}

@@ -144,8 +144,11 @@ type tfClient struct {
 	meta metadata
 }
 
-func dialTFServing(addr string) (ScorerClient, error) {
-	c, err := grpcish.Dial(addr)
+func dialTFServing(addr string, o ClientOptions) (ScorerClient, error) {
+	c, err := grpcish.Dial(addr,
+		grpcish.WithTimeout(o.timeout()),
+		grpcish.WithRetry(o.Retry),
+		grpcish.WithBreaker(o.Breaker))
 	if err != nil {
 		return nil, err
 	}

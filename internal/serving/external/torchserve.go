@@ -240,8 +240,11 @@ type torchClient struct {
 	meta metadata
 }
 
-func dialTorchServe(addr string) (ScorerClient, error) {
-	c, err := grpcish.Dial(addr)
+func dialTorchServe(addr string, o ClientOptions) (ScorerClient, error) {
+	c, err := grpcish.Dial(addr,
+		grpcish.WithTimeout(o.timeout()),
+		grpcish.WithRetry(o.Retry),
+		grpcish.WithBreaker(o.Breaker))
 	if err != nil {
 		return nil, err
 	}

@@ -125,6 +125,7 @@ func (cj *checkpointedJob) checkpointedSlot(consumer *broker.Consumer, producer 
 	if max <= 0 {
 		max = j.e.ChannelDepth
 	}
+	stages := j.spec.Stages()
 	var sinkBuf []broker.Record
 	flush := func() {
 		if len(sinkBuf) == 0 {
@@ -132,6 +133,9 @@ func (cj *checkpointedJob) checkpointedSlot(consumer *broker.Consumer, producer 
 		}
 		if _, _, err := producer.SendBatch(sinkBuf); err != nil {
 			j.errs.Set(fmt.Errorf("flink: sink: %w", err))
+			stages.Dropped.Add(int64(len(sinkBuf)))
+		} else {
+			stages.Out.Add(int64(len(sinkBuf)))
 		}
 		sinkBuf = sinkBuf[:0]
 	}
@@ -157,10 +161,12 @@ func (cj *checkpointedJob) checkpointedSlot(consumer *broker.Consumer, producer 
 			}
 			continue
 		}
+		stages.In.Add(int64(len(recs)))
 		for _, rec := range recs {
 			scored, err := j.spec.Transform(j.e.segment(rec.Value).reassemble())
 			if err != nil {
 				j.errs.Set(fmt.Errorf("flink: scoring: %w", err))
+				stages.Dropped.Inc()
 				continue
 			}
 			sinkBuf = append(sinkBuf, broker.Record{Value: scored, Timestamp: time.Now()})

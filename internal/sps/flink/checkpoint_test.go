@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"crayfish/internal/faults"
 	"crayfish/internal/sps"
 	"crayfish/internal/sps/spstest"
 )
@@ -175,5 +176,88 @@ func TestRestoreSkipsCheckpointedRecords(t *testing.T) {
 	}
 	if reprocessed.Load() != 0 {
 		t.Fatalf("restored job reprocessed %d checkpointed records", reprocessed.Load())
+	}
+}
+
+// TestInjectedCrashRestoreExactlyOnceAccounting drives the crash through
+// the fault layer: a timed Crash event hard-stops the checkpointed job
+// mid-stream, a second job restores from the latest checkpoint, and the
+// downstream consumer's seen-set must account for every record exactly
+// once — nothing lost, and every replayed duplicate filtered out.
+func TestInjectedCrashRestoreExactlyOnceAccounting(t *testing.T) {
+	h := spstest.NewHarness(t, 2, 2)
+	const total = 150
+	h.Produce(t, total)
+
+	var processed atomic.Int64
+	base := h.Spec.Transform
+	h.Spec.Transform = func(v []byte) ([]byte, error) {
+		processed.Add(1)
+		time.Sleep(500 * time.Microsecond) // keep the crash mid-stream
+		return base(v)
+	}
+	job, err := New().RunCheckpointed(h.Spec, Checkpoint{}, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj, err := faults.New(faults.Plan{
+		Seed:   1,
+		Events: []faults.Event{{Kind: faults.Crash, At: 25 * time.Millisecond, Target: "flink-job"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := make(chan struct{})
+	inj.Handle(faults.Crash, func(faults.Event) {
+		if err := job.Stop(); err != nil {
+			t.Errorf("injected crash: %v", err)
+		}
+		close(crashed)
+	})
+	inj.Start()
+	defer inj.Stop()
+	giveUp := time.NewTimer(10 * time.Second)
+	defer giveUp.Stop()
+	select {
+	case <-crashed:
+	case <-giveUp.C:
+		t.Fatal("crash event never fired")
+	}
+	if done := processed.Load(); done == 0 || done >= total {
+		t.Fatalf("crash landed outside the stream: %d of %d processed", done, total)
+	}
+	cp, _ := job.LatestCheckpoint() // zero checkpoint (full replay) is fine too
+
+	job2, err := New().RunCheckpointed(h.Spec, cp, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The consumer-side seen-set: replayed duplicates are detected and
+	// filtered, so unique accounting converges on exactly `total`.
+	seen := map[string]int{}
+	duplicates := 0
+	deadline := time.Now().Add(15 * time.Second)
+	for len(seen) < total && time.Now().Before(deadline) {
+		seen = map[string]int{}
+		duplicates = 0
+		for _, v := range h.CollectOutput(t, 1<<30, 300*time.Millisecond) {
+			if seen[string(v)] > 0 {
+				duplicates++
+			}
+			seen[string(v)]++
+		}
+	}
+	if err := job2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		key := fmt.Sprintf("r%d!scored", i)
+		if seen[key] == 0 {
+			t.Fatalf("record r%d lost across the injected crash (%d duplicates seen)", i, duplicates)
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("seen-set holds %d unique records, want exactly %d", len(seen), total)
 	}
 }

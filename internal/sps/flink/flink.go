@@ -200,6 +200,7 @@ func (j *job) chainedSlot(consumer *broker.Consumer, producer *broker.Producer) 
 		}
 		if _, _, err := producer.SendBatch(batch); err != nil {
 			j.errs.Set(fmt.Errorf("flink: sink: %w", err))
+			stages.Dropped.Add(int64(len(batch)))
 			return
 		}
 		stages.Out.Add(int64(len(batch)))
@@ -224,6 +225,7 @@ func (j *job) chainedSlot(consumer *broker.Consumer, producer *broker.Producer) 
 		scored, err := j.spec.Transform(value)
 		if err != nil {
 			j.errs.Set(fmt.Errorf("flink: scoring: %w", err))
+			stages.Dropped.Inc()
 			return
 		}
 		emit(scored)
@@ -304,6 +306,7 @@ func (j *job) startUnchained() error {
 		}()
 	}
 
+	stages := j.spec.Stages()
 	var scorers sync.WaitGroup
 	for s := 0; s < p.Score; s++ {
 		scorers.Add(1)
@@ -315,6 +318,7 @@ func (j *job) startUnchained() error {
 				scored, err := j.spec.Transform(rec.reassemble())
 				if err != nil {
 					j.errs.Set(fmt.Errorf("flink: scoring: %w", err))
+					stages.Dropped.Inc()
 					continue
 				}
 				sinkCh <- scored
@@ -322,7 +326,6 @@ func (j *job) startUnchained() error {
 		}()
 	}
 
-	stages := j.spec.Stages()
 	for s := 0; s < p.Sink; s++ {
 		producer, err := broker.NewAsyncProducer(j.spec.Transport, j.spec.OutputTopic, j.e.ChannelDepth)
 		if err != nil {
@@ -334,6 +337,7 @@ func (j *job) startUnchained() error {
 			for scored := range sinkCh {
 				if err := producer.Send(scored); err != nil {
 					j.errs.Set(fmt.Errorf("flink: sink: %w", err))
+					stages.Dropped.Inc()
 					continue
 				}
 				stages.Out.Inc()

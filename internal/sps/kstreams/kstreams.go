@@ -139,10 +139,12 @@ func (j *job) streamThread(consumer *broker.Consumer, producer *broker.AsyncProd
 			scored, err := j.spec.Transform(rec.Value)
 			if err != nil {
 				j.errs.Set(fmt.Errorf("kafka-streams: transform: %w", err))
+				stages.Dropped.Inc()
 				continue
 			}
 			if err := producer.Send(scored); err != nil {
 				j.errs.Set(fmt.Errorf("kafka-streams: sink: %w", err))
+				stages.Dropped.Inc()
 				continue
 			}
 			stages.Out.Inc()

@@ -14,6 +14,10 @@ func TestConformance(t *testing.T) {
 	spstest.RunConformance(t, func() sps.Processor { return New() })
 }
 
+func TestFaultConformance(t *testing.T) {
+	spstest.RunFaultConformance(t, func() sps.Processor { return New() })
+}
+
 func TestRegistered(t *testing.T) {
 	p, err := sps.New("kafka-streams")
 	if err != nil {

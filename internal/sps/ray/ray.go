@@ -166,6 +166,7 @@ func (j *job) inputActor(a *Actor, consumer *broker.Consumer, downstream *Actor)
 // external endpoint via the transform closure, then forwards downstream.
 func (j *job) scoringActor(a *Actor, downstream *Actor) {
 	defer close(downstream.Inbox)
+	stages := j.spec.Stages()
 	for {
 		value, ok, err := a.Recv()
 		if err != nil {
@@ -178,6 +179,7 @@ func (j *job) scoringActor(a *Actor, downstream *Actor) {
 		scored, err := j.spec.Transform(value)
 		if err != nil {
 			j.errs.Set(fmt.Errorf("ray: scoring actor: %w", err))
+			stages.Dropped.Inc()
 			continue
 		}
 		if j.e.PickleHops {
@@ -207,6 +209,7 @@ func (j *job) outputActor(a *Actor, producer *broker.AsyncProducer) {
 		}
 		if err := producer.Send(value); err != nil {
 			j.errs.Set(fmt.Errorf("ray: output actor: %w", err))
+			stages.Dropped.Inc()
 			continue
 		}
 		stages.Out.Inc()

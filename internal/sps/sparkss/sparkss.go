@@ -15,6 +15,7 @@ import (
 
 	"crayfish/internal/broker"
 	"crayfish/internal/sps"
+	"crayfish/internal/telemetry"
 )
 
 func init() {
@@ -139,11 +140,12 @@ func (j *job) driverLoop(consumer *broker.Consumer, producer *broker.Producer) {
 			continue
 		}
 		stages.In.Add(int64(len(batch)))
-		scored := j.runStage(batch, executors)
+		scored := j.runStage(batch, executors, stages.Dropped)
 		// Append-mode sink: one batched write.
 		if len(scored) > 0 {
 			if _, err := j.spec.Transport.Produce(j.spec.OutputTopic, producer.NextPartition(), scored); err != nil {
 				j.errs.Set(fmt.Errorf("spark-ss: sink: %w", err))
+				stages.Dropped.Add(int64(len(scored)))
 			} else {
 				stages.Out.Add(int64(len(scored)))
 			}
@@ -155,8 +157,9 @@ func (j *job) driverLoop(consumer *broker.Consumer, producer *broker.Producer) {
 }
 
 // runStage splits the micro-batch into chunks, executes them on the
-// executor pool, and waits for the barrier.
-func (j *job) runStage(batch []broker.Record, executors int) []broker.Record {
+// executor pool, and waits for the barrier. Records whose task fails are
+// counted on dropped.
+func (j *job) runStage(batch []broker.Record, executors int, dropped *telemetry.Counter) []broker.Record {
 	if executors > len(batch) {
 		executors = len(batch)
 	}
@@ -180,6 +183,7 @@ func (j *job) runStage(batch []broker.Record, executors int) []broker.Record {
 				scored, err := j.spec.Transform(rec.Value)
 				if err != nil {
 					j.errs.Set(fmt.Errorf("spark-ss: task: %w", err))
+					dropped.Inc()
 					continue
 				}
 				out = append(out, broker.Record{Value: scored, Timestamp: time.Now()})

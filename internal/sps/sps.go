@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"crayfish/internal/broker"
+	"crayfish/internal/resilience"
 	"crayfish/internal/telemetry"
 )
 
@@ -86,6 +87,12 @@ type JobSpec struct {
 	// PollMax bounds records fetched per source poll; 0 means an
 	// engine-specific default.
 	PollMax int
+	// Retry, when set, re-runs the transform on retryable failures
+	// (resilience.IsRetryable) before the engine sees the error — the
+	// operator-level restart policy every real engine offers. Errors
+	// that survive the policy still drop the record and surface via
+	// Job.Err / sps.score.dropped.
+	Retry *resilience.Retry
 	// Metrics publishes live per-stage telemetry into the given
 	// registry; nil disables instrumentation at near-zero cost.
 	Metrics *telemetry.Registry
@@ -105,12 +112,41 @@ func (s *JobSpec) Validate() error {
 	if s.Group == "" {
 		s.Group = "crayfish-sps"
 	}
+	// Retry wraps inside instrumentation, so sps.score.calls and
+	// sps.score.latency_ns measure the whole (possibly retried) operator
+	// invocation the way an engine-side restart policy would.
+	if s.Retry != nil {
+		s.Transform = retryTransform(s.Transform, s.Retry, s.Metrics)
+	}
 	if s.Metrics != nil {
 		s.Transform = instrumentTransform(s.Transform, s.Metrics)
 	}
 	var err error
 	s.Parallelism, err = s.Parallelism.Normalize()
 	return err
+}
+
+// retryTransform wraps the scoring operator in the job's retry policy.
+// Only errors marked retryable (transient scorer faults, daemon
+// unavailability) are re-attempted; application errors pass through on
+// the first try. Each re-attempt beyond the first increments
+// sps.score.retries.
+func retryTransform(t Transform, r *resilience.Retry, reg *telemetry.Registry) Transform {
+	retries := reg.Counter("sps.score.retries")
+	return func(value []byte) ([]byte, error) {
+		var out []byte
+		attempts := 0
+		err := r.Do(func() error {
+			attempts++
+			var opErr error
+			out, opErr = t(value)
+			return opErr
+		})
+		if attempts > 1 {
+			retries.Add(int64(attempts - 1))
+		}
+		return out, err
+	}
 }
 
 // instrumentTransform wraps the scoring operator with live telemetry:
@@ -141,6 +177,10 @@ type StageCounters struct {
 	In *telemetry.Counter
 	// Out counts records the sink operators handed to the producer.
 	Out *telemetry.Counter
+	// Dropped counts records abandoned after a transform or sink
+	// failure — the at-least-once loss ledger the recovery scenario
+	// audits against.
+	Dropped *telemetry.Counter
 }
 
 // Stages resolves the per-stage counters from the spec's registry. With
@@ -148,8 +188,9 @@ type StageCounters struct {
 // no-op.
 func (s *JobSpec) Stages() StageCounters {
 	return StageCounters{
-		In:  s.Metrics.Counter("sps.source.records"),
-		Out: s.Metrics.Counter("sps.sink.records"),
+		In:      s.Metrics.Counter("sps.source.records"),
+		Out:     s.Metrics.Counter("sps.sink.records"),
+		Dropped: s.Metrics.Counter("sps.score.dropped"),
 	}
 }
 

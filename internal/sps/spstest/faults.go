@@ -1,0 +1,249 @@
+package spstest
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crayfish/internal/broker"
+	"crayfish/internal/faults"
+	"crayfish/internal/resilience"
+	"crayfish/internal/sps"
+	"crayfish/internal/telemetry"
+)
+
+// RunFaultConformance exercises an engine against the fault layer: the
+// job-level retry policy must mask transient scorer errors, a circuit
+// breaker in the transform must open under sustained failure and close
+// again after recovery, and broker-boundary message faults must leave
+// the loss/duplication books balanced. Every engine test file runs it
+// (scripts/check.sh repeats it under -race).
+func RunFaultConformance(t *testing.T, factory func() sps.Processor) {
+	t.Helper()
+	t.Run("RetryMasksTransientScorerErrors", func(t *testing.T) { testRetryMasksTransients(t, factory()) })
+	t.Run("BreakerOpensAndRecovers", func(t *testing.T) { testBreakerOpensAndRecovers(t, factory()) })
+	t.Run("MessageFaultAccounting", func(t *testing.T) { testMessageFaultAccounting(t, factory()) })
+}
+
+// testRetryMasksTransients fails every record's first scoring attempt
+// with a retryable error. With JobSpec.Retry set the engine must never
+// see the failures: all records arrive, nothing is dropped, and the
+// retry counter tallies one re-attempt per record.
+func testRetryMasksTransients(t *testing.T, proc sps.Processor) {
+	h := NewHarness(t, 2, 2)
+	const n = 30
+	reg := telemetry.New()
+	h.Spec.Metrics = reg
+
+	var mu sync.Mutex
+	attempted := make(map[string]bool)
+	inner := h.Spec.Transform
+	h.Spec.Transform = func(v []byte) ([]byte, error) {
+		mu.Lock()
+		first := !attempted[string(v)]
+		attempted[string(v)] = true
+		mu.Unlock()
+		if first {
+			return nil, resilience.MarkRetryable(fmt.Errorf("%w: first attempt", faults.ErrInjected))
+		}
+		return inner(v)
+	}
+	h.Spec.Retry = &resilience.Retry{
+		Attempts:  5,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  time.Millisecond,
+		Sleep:     func(time.Duration) {},
+	}
+
+	h.Produce(t, n)
+	job, err := proc.Run(h.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.CollectOutput(t, n, 10*time.Second)
+	if err := job.Stop(); err != nil {
+		t.Fatalf("%s: a masked transient still surfaced: %v", proc.Name(), err)
+	}
+	if len(out) != n {
+		t.Fatalf("%s: got %d records, want %d", proc.Name(), len(out), n)
+	}
+	if got := reg.Counter("sps.score.retries").Value(); got != n {
+		t.Fatalf("%s: sps.score.retries = %d, want %d", proc.Name(), got, n)
+	}
+	if got := reg.Counter("sps.score.dropped").Value(); got != 0 {
+		t.Fatalf("%s: sps.score.dropped = %d, want 0", proc.Name(), got)
+	}
+}
+
+// testBreakerOpensAndRecovers wraps the transform in a circuit breaker
+// over a scorer that is down when the job starts. The breaker must open
+// under the sustained failures, the retry policy must ride out the
+// outage, and once the scorer recovers the breaker must close with
+// every record accounted for.
+func testBreakerOpensAndRecovers(t *testing.T, proc sps.Processor) {
+	h := NewHarness(t, 2, 2)
+	const n = 20
+
+	var down atomic.Bool
+	down.Store(true)
+	var opened, closedAgain atomic.Int64
+	breaker := &resilience.Breaker{
+		FailureThreshold: 3,
+		Cooldown:         2 * time.Millisecond,
+		OnChange: func(from, to resilience.State) {
+			if to == resilience.Open {
+				opened.Add(1)
+			}
+			if from == resilience.HalfOpen && to == resilience.Closed {
+				closedAgain.Add(1)
+			}
+		},
+	}
+	inner := h.Spec.Transform
+	h.Spec.Transform = func(v []byte) ([]byte, error) {
+		var out []byte
+		err := resilience.Run(nil, breaker, func() error {
+			if down.Load() {
+				return resilience.MarkRetryable(fmt.Errorf("%w: scorer down", faults.ErrInjected))
+			}
+			var ierr error
+			out, ierr = inner(v)
+			return ierr
+		})
+		return out, err
+	}
+	// MaxElapsed (not Attempts) bounds the loop: the first record must
+	// keep retrying — through shed errors too — until the outage ends.
+	h.Spec.Retry = &resilience.Retry{
+		MaxElapsed: 20 * time.Second,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   2 * time.Millisecond,
+	}
+
+	h.Produce(t, n)
+	job, err := proc.Run(h.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for breaker.State() != resilience.Open {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: breaker never opened under sustained failure", proc.Name())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	down.Store(false)
+	out := h.CollectOutput(t, n, 15*time.Second)
+	if err := job.Stop(); err != nil {
+		t.Fatalf("%s: stop after recovery: %v", proc.Name(), err)
+	}
+	if len(out) != n {
+		t.Fatalf("%s: got %d records after recovery, want %d", proc.Name(), len(out), n)
+	}
+	unique := make(map[string]bool, len(out))
+	for _, v := range out {
+		unique[string(v)] = true
+	}
+	if len(unique) != n {
+		t.Fatalf("%s: %d unique records, want %d", proc.Name(), len(unique), n)
+	}
+	if breaker.State() != resilience.Closed {
+		t.Fatalf("%s: breaker = %v after recovery, want closed", proc.Name(), breaker.State())
+	}
+	if opened.Load() == 0 || closedAgain.Load() == 0 {
+		t.Fatalf("%s: breaker transitions: opened %d times, probe-closed %d times",
+			proc.Name(), opened.Load(), closedAgain.Load())
+	}
+}
+
+// testMessageFaultAccounting produces through a broker carrying a fault
+// plan — drop seqs [5,10), duplicate seqs [20,23) — and checks the
+// books: the engine emits exactly produced − dropped + duplicated
+// records, the dropped values are the missing ones, the duplicated
+// values appear exactly twice, and the injector's per-topic counts
+// match.
+func testMessageFaultAccounting(t *testing.T, proc sps.Processor) {
+	const (
+		n        = 40
+		dropped  = 5 // seqs 5..9
+		duped    = 3 // seqs 20..22
+		expected = n - dropped + duped
+	)
+	inj, err := faults.New(faults.Plan{
+		Seed: 7,
+		Rules: []faults.Rule{
+			{Topic: "in", Kind: faults.Drop, FromSeq: 5, ToSeq: 10},
+			{Topic: "in", Kind: faults.Duplicate, FromSeq: 20, ToSeq: 23},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := broker.DefaultConfig()
+	cfg.Faults = inj
+	b := broker.New(cfg)
+	if err := b.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("out", 2); err != nil {
+		t.Fatal(err)
+	}
+	h := &Harness{
+		Broker: b,
+		Spec: sps.JobSpec{
+			Transport:   b,
+			InputTopic:  "in",
+			OutputTopic: "out",
+			Group:       "test-group",
+			Transform: func(v []byte) ([]byte, error) {
+				return append(append([]byte(nil), v...), []byte("!scored")...), nil
+			},
+		},
+	}
+	h.Produce(t, n)
+	job, err := proc.Run(h.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.CollectOutput(t, expected, 10*time.Second)
+	if err := job.Stop(); err != nil {
+		t.Fatalf("%s: stop: %v", proc.Name(), err)
+	}
+	if len(out) != expected {
+		t.Fatalf("%s: got %d records, want %d (= %d produced − %d dropped + %d duplicated)",
+			proc.Name(), len(out), expected, n, dropped, duped)
+	}
+	seen := make(map[string]int, len(out))
+	for _, v := range out {
+		seen[string(v)]++
+	}
+	if len(seen) != n-dropped {
+		t.Fatalf("%s: %d unique records, want %d", proc.Name(), len(seen), n-dropped)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("r%d!scored", i)
+		want := 1
+		if i >= 5 && i < 10 {
+			want = 0
+		}
+		if i >= 20 && i < 23 {
+			want = 2
+		}
+		if seen[key] != want {
+			t.Fatalf("%s: record r%d emitted %d times, want %d", proc.Name(), i, seen[key], want)
+		}
+	}
+	counts := inj.CountsFor("in")
+	if counts[faults.Drop] != dropped || counts[faults.Duplicate] != duped {
+		t.Fatalf("%s: injector counts %v, want %d drops and %d duplicates",
+			proc.Name(), counts, dropped, duped)
+	}
+	// The log is canonical: replaying the same plan over the same input
+	// renders the same bytes.
+	if log := faults.FormatLog(inj.Log()); !bytes.Contains([]byte(log), []byte("drop topic=in seq=5")) {
+		t.Fatalf("%s: fault log missing drop entry:\n%s", proc.Name(), log)
+	}
+}

@@ -14,5 +14,10 @@ fi
 go build ./...
 go vet ./...
 go run ./cmd/crayfishlint ./...
+# Fault-injection conformance across all four engines (docs/FAULTS.md):
+# breaker and retry behaviour is concurrency-sensitive, so this suite
+# runs race-enabled and by name, before (and again within) the full
+# test sweep — a fast, attributable failure when the chaos layer breaks.
+go test -race -run TestFaultConformance -count=1 ./internal/sps/...
 go test -race ./...
 CRAYFISH_BENCH_SCALE=0.05 go test -run NONE -bench . -benchtime=1x .

@@ -46,21 +46,70 @@ func TestRunTelemetryContract(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The fault/resilience families only exist under injection, so a
+	// second, tiny recovery run (resilient external client, message
+	// faults, a daemon crash/restart) instantiates them; its snapshot
+	// answers for those rows.
+	recReg := crayfish.NewTelemetry()
+	recCfg := cfg
+	recCfg.Telemetry = recReg
+	recCfg.Serving = crayfish.ServingConfig{Mode: crayfish.External, Tool: "tf-serving"}
+	recCfg.Workload.MaxEvents = 60
+	recCfg.Workload.Duration = time.Second
+	recRes, err := crayfish.RunRecovery(recCfg, crayfish.FaultPlan{
+		Seed: 3,
+		Rules: []crayfish.FaultRule{
+			{Topic: "crayfish-in", Kind: crayfish.FaultDrop, FromSeq: 5, ToSeq: 10},
+		},
+		Events: []crayfish.FaultEvent{
+			{Kind: crayfish.FaultCrash, At: 30 * time.Millisecond, Target: "tf-serving"},
+			{Kind: crayfish.FaultRestart, At: 90 * time.Millisecond, Target: "tf-serving"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSnap := recRes.Result.Telemetry
+
 	// Documented metrics this run cannot move: a clean embedded run has
-	// no failures, no duplicate deliveries, and no serving daemon.
+	// no failures, no duplicate deliveries, and no serving daemon; a
+	// clean recovery has no abandoned records, and whether the *client*
+	// retried (vs the job-level policy) depends on crash timing.
 	zeroOK := map[string]bool{
-		"sps.score.errors":     true,
-		"serving.score.errors": true,
-		"consumer.duplicates":  true,
+		"sps.score.errors":              true,
+		"sps.score.dropped":             true,
+		"sps.score.retries":             true,
+		"serving.score.errors":          true,
+		"consumer.duplicates":           true,
+		"resilience.retries.tf-serving": true,
+		"resilience.shed.tf-serving":    true,
 	}
 	const daemonOnly = "serving.server."
+
+	// faultPathNames instantiates the fault/resilience families with
+	// the names the recovery run above produces; nil means the metric
+	// belongs to the clean run.
+	faultPathNames := func(m metricdoc.Metric) []string {
+		switch {
+		case m.Name == "sps.score.retries" || m.Name == "sps.score.dropped":
+			return []string{m.Name}
+		case m.Wildcard() && strings.HasPrefix(m.Prefix(), "resilience."):
+			return []string{m.Prefix() + "tf-serving"}
+		case m.Wildcard() && m.Prefix() == "faults.injected.":
+			return []string{m.Prefix() + "drop", m.Prefix() + "crash", m.Prefix() + "restart"}
+		}
+		return nil
+	}
 
 	var activeCounters []string
 	for _, m := range contract.Metrics {
 		names := []string{m.Name}
-		if m.Wildcard() {
-			// The only wildcard family is the per-topic backlog; the
-			// driver's fixed topics instantiate it.
+		from := snap
+		if fp := faultPathNames(m); fp != nil {
+			names, from = fp, recSnap
+		} else if m.Wildcard() {
+			// The remaining wildcard family is the per-topic backlog;
+			// the driver's fixed topics instantiate it.
 			names = []string{m.Prefix() + "crayfish-in", m.Prefix() + "crayfish-out"}
 		}
 		for _, name := range names {
@@ -69,28 +118,36 @@ func TestRunTelemetryContract(t *testing.T) {
 			}
 			switch m.Kind {
 			case metricdoc.Counter:
-				v, ok := snap.Counters[name]
+				v, ok := from.Counters[name]
 				if !ok {
 					t.Errorf("documented counter %s not in snapshot", name)
 				} else if !zeroOK[name] {
 					if v <= 0 {
 						t.Errorf("counter %s = %d, want > 0", name, v)
 					}
-					activeCounters = append(activeCounters, name)
+					if from == snap {
+						activeCounters = append(activeCounters, name)
+					}
 				}
 			case metricdoc.Histogram:
-				h, ok := snap.Histograms[name]
+				h, ok := from.Histograms[name]
 				if !ok {
 					t.Errorf("documented histogram %s not in snapshot", name)
 				} else if !zeroOK[name] && h.Count <= 0 {
 					t.Errorf("histogram %s empty (%+v)", name, h)
 				}
 			case metricdoc.Gauge:
-				if _, ok := snap.Gauges[name]; !ok {
+				if _, ok := from.Gauges[name]; !ok {
 					t.Errorf("documented gauge %s not in snapshot", name)
 				}
 			}
 		}
+	}
+
+	// The recovery run's books must still balance while it feeds the
+	// fault-path rows: planned drops only, everything else accounted.
+	if recRes.Lost != 0 || recRes.Dropped != 5 {
+		t.Errorf("recovery run books: lost=%d dropped=%d, want 0 and 5", recRes.Lost, recRes.Dropped)
 	}
 
 	// Consistency across stages: what the scorer saw is what the SPS
