@@ -146,6 +146,7 @@ func DefaultAnalyzers() []*Analyzer {
 		NewClockDiscipline(),
 		NewGoroLifecycle(),
 		NewErrcheckLite(),
+		NewHotPathAlloc(),
 	}
 }
 

@@ -141,12 +141,12 @@ func TestMetricNamesReverseDrift(t *testing.T) {
 }
 
 // TestDirectiveSuppressionAndGrammar: well-formed //lint:allow comments
-// suppress (the fixtures carry three), and a directive without a reason
+// suppress (the fixtures carry four), and a directive without a reason
 // is itself reported.
 func TestDirectiveSuppressionAndGrammar(t *testing.T) {
 	_, res := fixture(t)
-	if res.Suppressed != 3 {
-		t.Errorf("suppressed = %d, want 3 (clockdiscipline, gorolifecycle, errchecklite fixtures)", res.Suppressed)
+	if res.Suppressed != 4 {
+		t.Errorf("suppressed = %d, want 4 (clockdiscipline, gorolifecycle, errchecklite, hotpathalloc fixtures)", res.Suppressed)
 	}
 	var bad []analysis.Diagnostic
 	for _, d := range res.Diagnostics {

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// hotTensorFuncs are the internal/tensor functions that sit on the
+// steady-state inference path beyond the Into-suffix convention: the
+// blocked matmul core, the im2col packer, and the parallel fan-outs.
+var hotTensorFuncs = map[string]bool{
+	"matMulRange":    true,
+	"im2col":         true,
+	"parallelMatMul": true,
+	"poolMatMul":     true,
+}
+
+// hotModelFiles are the internal/model files whose entire contents are
+// hot: the reference forward pass and the compiled execution plan.
+var hotModelFiles = map[string]bool{
+	"forward.go": true,
+	"plan.go":    true,
+}
+
+// NewHotPathAlloc flags heap allocations on the inference hot path:
+// calls to tensor.New and make([]float32, ...) inside internal/tensor's
+// Into-variant kernels (plus the helpers above) and anywhere in
+// internal/model's forward.go and plan.go. The zero-allocation contract
+// (docs/PERFORMANCE.md) is held by AllocsPerRun tests at the package
+// level; this analyzer attributes a regression to its line before the
+// tests can only say "some step allocated". Deliberate cold-path
+// allocations — plan compilation, per-state scratch construction —
+// carry a //lint:allow hotpathalloc annotation stating why.
+func NewHotPathAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "inference hot paths (tensor Into-kernels, model forward/plan) must not allocate; annotate deliberate cold-path allocations",
+	}
+	a.Run = func(pass *Pass) {
+		switch pass.Pkg.ModRel {
+		case "internal/tensor":
+			pass.eachFile(func(f *ast.File) {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil || !hotTensorFunc(fd.Name.Name) {
+						continue
+					}
+					reportHotAllocs(pass, fd.Body, "tensor kernel "+fd.Name.Name)
+				}
+			})
+		case "internal/model":
+			pass.eachFile(func(f *ast.File) {
+				name := filepath.Base(pass.Module.Fset.Position(f.Pos()).Filename)
+				if !hotModelFiles[name] {
+					return
+				}
+				reportHotAllocs(pass, f, name)
+			})
+		}
+	}
+	return a
+}
+
+// hotTensorFunc reports whether a tensor function name is on the hot
+// path: the Into-variant naming convention or the helper allow-list.
+func hotTensorFunc(name string) bool {
+	return strings.HasSuffix(name, "Into") || hotTensorFuncs[name]
+}
+
+// reportHotAllocs walks one hot region and reports the banned
+// allocation forms.
+func reportHotAllocs(pass *Pass, root ast.Node, where string) {
+	info := pass.Pkg.TypesInfo
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "make" && isFloat32SliceMake(info, call) {
+				pass.Report(call.Pos(), "make([]float32, ...) in %s: hot paths take caller scratch or arena buffers (docs/PERFORMANCE.md), or annotate //lint:allow hotpathalloc <reason>", where)
+			}
+			if fun.Name == "New" && pass.Pkg.ModRel == "internal/tensor" && isLocalFunc(info, fun) {
+				pass.Report(call.Pos(), "tensor New in %s: hot kernels write into caller-provided tensors, or annotate //lint:allow hotpathalloc <reason>", where)
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name != "New" {
+				return true
+			}
+			if ident, ok := fun.X.(*ast.Ident); ok && isTensorPkgRef(info, ident) {
+				pass.Report(call.Pos(), "tensor.New in %s: hot paths draw from the execution plan's arena, or annotate //lint:allow hotpathalloc <reason>", where)
+			}
+		}
+		return true
+	})
+}
+
+// isFloat32SliceMake matches the literal form make([]float32, ...),
+// requiring make to be the builtin when type information is available.
+func isFloat32SliceMake(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	if info != nil {
+		if obj, ok := info.Uses[call.Fun.(*ast.Ident)]; ok {
+			if _, builtin := obj.(*types.Builtin); !builtin {
+				return false
+			}
+		}
+	}
+	at, ok := call.Args[0].(*ast.ArrayType)
+	if !ok || at.Len != nil {
+		return false
+	}
+	elt, ok := at.Elt.(*ast.Ident)
+	return ok && elt.Name == "float32"
+}
+
+// isLocalFunc reports whether ident resolves to a package-level function
+// of the package under analysis (the tensor constructor, not a local
+// shadow), defaulting to true without type information.
+func isLocalFunc(info *types.Info, ident *ast.Ident) bool {
+	if info == nil {
+		return true
+	}
+	obj, ok := info.Uses[ident]
+	if !ok {
+		return true
+	}
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Parent() == fn.Pkg().Scope()
+}
+
+// isTensorPkgRef reports whether ident is an import reference to the
+// module's tensor package (alias-safe), falling back to the spelled
+// package name.
+func isTensorPkgRef(info *types.Info, ident *ast.Ident) bool {
+	if info != nil {
+		if obj, ok := info.Uses[ident]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				p := pn.Imported().Path()
+				return p == "internal/tensor" || strings.HasSuffix(p, "/internal/tensor")
+			}
+			return false
+		}
+	}
+	return ident.Name == "tensor"
+}

@@ -1,0 +1,33 @@
+package tensor
+
+// This file seeds hotpathalloc violations: allocations inside an
+// Into-variant kernel and inside a hot helper, plus one deliberately
+// annotated cold-path allocation that must be suppressed.
+
+// Tensor is a minimal stand-in for the real tensor type.
+type Tensor struct{ data []float32 }
+
+// New allocates a tensor; allocating here is fine — New is the cold
+// constructor, not a hot kernel.
+func New(n int) *Tensor { return &Tensor{data: make([]float32, n)} }
+
+// ScaleInto is an Into-variant kernel: allocations inside are hot-path
+// violations.
+func ScaleInto(dst, src *Tensor, k float32) {
+	tmp := make([]float32, len(src.data)) // want hotpathalloc
+	t := New(len(src.data))               // want hotpathalloc
+	//lint:allow hotpathalloc seeded suppression: a documented cold-path scratch
+	warm := make([]float32, 8)
+	_, _ = tmp, t
+	_ = warm
+	for i, v := range src.data {
+		dst.data[i] = v * k
+	}
+}
+
+// im2col is on the hot-helper allow-list even without the Into suffix.
+func im2col(src []float32) []float32 {
+	col := make([]float32, len(src)) // want hotpathalloc
+	copy(col, src)
+	return col
+}

@@ -70,7 +70,7 @@ func BuildScorerNet(cfg ServingConfig, m *model.Model, mp int, network netsim.Pr
 		if err := rt.Load(stored); err != nil {
 			return nil, nil, err
 		}
-		return rt, func() {}, nil
+		return rt, func() { _ = rt.Close() }, nil
 
 	case External:
 		kind := external.Kind(cfg.Tool)

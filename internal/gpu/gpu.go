@@ -34,6 +34,24 @@ type Device interface {
 	Transfer(n int)
 }
 
+// ExecProfile is the execution shape a device feeds a runtime's
+// compiled plan: kernel-level parallelism and whether the device's
+// kernel library provides fast convolution algorithms. Runtimes
+// translate it into the model layer's execution hints at plan-compile
+// time, so a plan is fixed per (model, device) pair.
+type ExecProfile struct {
+	Workers     int
+	FastKernels bool
+}
+
+// ProfileOf extracts a device's execution profile (nil = CPU).
+func ProfileOf(d Device) ExecProfile {
+	if d == nil {
+		d = CPU()
+	}
+	return ExecProfile{Workers: d.Workers(), FastKernels: d.FastKernels()}
+}
+
 // CPU returns the host processor device.
 func CPU() Device { return cpuDevice{} }
 

@@ -166,10 +166,11 @@ func convOp(x *tensor.Tensor, l *Layer, opts execOpts) (*tensor.Tensor, error) {
 	return y, nil
 }
 
-// winogradApply runs the layer's cached Winograd transform, building it on
-// first use (the weight transform amortises across calls, as in real
-// inference runtimes).
-func (l *Layer) winogradApply(x *tensor.Tensor) (*tensor.Tensor, error) {
+// winogradConv returns the layer's cached Winograd transform, building
+// it on first use (the weight transform amortises across calls, as in
+// real inference runtimes). Plans call it at compile time so planned
+// and unplanned passes share the exact same transformed weights.
+func (l *Layer) winogradConv() (*tensor.WinogradConv, error) {
 	var err error
 	l.winoOnce.Do(func() {
 		l.winograd, err = tensor.NewWinogradConv(l.W)
@@ -180,7 +181,16 @@ func (l *Layer) winogradApply(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if l.winograd == nil {
 		return nil, fmt.Errorf("winograd transform unavailable for layer %s", l.Name)
 	}
-	return l.winograd.Apply(x, l.Pad)
+	return l.winograd, nil
+}
+
+// winogradApply runs the layer's cached Winograd transform.
+func (l *Layer) winogradApply(x *tensor.Tensor) (*tensor.Tensor, error) {
+	w, err := l.winogradConv()
+	if err != nil {
+		return nil, err
+	}
+	return w.Apply(x, l.Pad)
 }
 
 // BatchInput reshapes a flat batch of data points into the tensor shape the

@@ -1,8 +1,9 @@
 // Package embedded implements the three interoperability libraries from
 // §3.4.2 as in-process serving runtimes:
 //
-//   - ONNX: loads the ONNX-analogue format and executes a fused,
-//     buffer-reusing plan — the fastest embedded path, as in Table 4.
+//   - ONNX: loads the ONNX-analogue format and executes a compiled
+//     per-device execution plan (model.Plan) whose steady state is
+//     allocation-free — the fastest embedded path, as in Table 4.
 //   - SavedModel: loads the SavedModel-analogue bundle and executes the
 //     graph op-by-op with per-op allocation (unfused).
 //   - DL4J: loads the Keras-H5-analogue format and pays a real foreign-
@@ -43,7 +44,7 @@ type Runtime struct {
 	dev    gpu.Device
 
 	m    *model.Model
-	plan *fusedPlan // ONNX only
+	plan *model.Plan // ONNX only: compiled for this runtime's device
 }
 
 // New creates a runtime of the given kind executing on dev (nil = CPU).
@@ -83,15 +84,44 @@ func (r *Runtime) Load(data []byte) error {
 }
 
 // LoadModel installs an in-memory model directly, bypassing storage.
+// For the ONNX runtime this compiles the execution plan against the
+// device's profile, pre-sizing every intermediate buffer.
 func (r *Runtime) LoadModel(m *model.Model) error {
 	if err := m.Validate(); err != nil {
 		return fmt.Errorf("embedded %s: %w", r.kind, err)
 	}
 	r.m = m
 	if r.kind == ONNX {
-		r.plan = compileFused(m)
+		if r.plan != nil {
+			r.plan.Close()
+		}
+		plan, err := m.Compile(r.hints())
+		if err != nil {
+			return fmt.Errorf("embedded %s: compiling plan: %w", r.kind, err)
+		}
+		r.plan = plan
 	}
 	return nil
+}
+
+// Close releases the runtime's compiled plan (its resident worker
+// pool). It implements serving.Closer; no Score calls may be in flight.
+func (r *Runtime) Close() error {
+	if r.plan != nil {
+		r.plan.Close()
+		r.plan = nil
+	}
+	return nil
+}
+
+// ArenaStats reports the compiled plan's buffer-arena hit/miss counts;
+// zero for the unplanned runtimes. The instrument wrapper samples it
+// into the tensor.arena.* metrics.
+func (r *Runtime) ArenaStats() (hits, misses uint64) {
+	if r.plan == nil {
+		return 0, 0
+	}
+	return r.plan.ArenaStats()
 }
 
 // Model returns the loaded model, or nil before Load.
@@ -132,17 +162,19 @@ func (r *Runtime) Score(inputs []float32, n int) ([]float32, error) {
 	return nil, fmt.Errorf("embedded: unknown runtime kind %q", r.kind)
 }
 
-// hints translates the runtime's device into execution hints.
+// hints translates the runtime's device profile into execution hints.
 func (r *Runtime) hints() model.ExecHints {
-	return model.ExecHints{Workers: r.dev.Workers(), FastConv: r.dev.FastKernels()}
+	p := gpu.ProfileOf(r.dev)
+	return model.ExecHints{Workers: p.Workers, FastConv: p.FastKernels}
 }
 
-// scoreONNX runs the fused plan with device-aware kernels and explicit
-// host↔device transfers.
+// scoreONNX runs the compiled plan with device-aware kernels and
+// explicit host↔device transfers. Per the Scorer contract the input
+// batch is the plan's to scratch; only the output slice is allocated.
 func (r *Runtime) scoreONNX(inputs []float32, n int) ([]float32, error) {
 	r.dev.Transfer(4 * len(inputs))
-	out, err := r.plan.apply(inputs, n, r.hints())
-	if err != nil {
+	out := make([]float32, n*r.plan.OutputLen())
+	if err := r.plan.Forward(inputs, n, out); err != nil {
 		return nil, fmt.Errorf("embedded onnx: %w", err)
 	}
 	r.dev.Transfer(4 * len(out))
@@ -181,12 +213,13 @@ func (r *Runtime) scoreDL4J(inputs []float32, n int) ([]float32, error) {
 }
 
 // forwardUnfused is the shared unfused execution path: build the batch
-// tensor, run the reference forward pass with the device's hints, and
-// copy out the probabilities.
+// tensor over the caller's buffer, run the reference forward pass with
+// the device's hints, and copy out the probabilities. The Scorer
+// contract gives Score the input batch for the duration of the call, so
+// no defensive copy is made even for models whose first operator writes
+// in place (model.MutatesInput).
 func forwardUnfused(m *model.Model, inputs []float32, n int, hints model.ExecHints) ([]float32, error) {
-	// The reference executor mutates activations in place, so hand it a
-	// private copy of the inputs.
-	in, err := m.BatchInput(append([]float32(nil), inputs...), n)
+	in, err := m.BatchInput(inputs, n)
 	if err != nil {
 		return nil, err
 	}

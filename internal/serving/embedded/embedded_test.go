@@ -310,6 +310,44 @@ func TestRelativeSpeedONNXFastest(t *testing.T) {
 	}
 }
 
+// benchScore drives one runtime kind over the reduced benchmark ResNet
+// at batch 2. scripts/bench.sh compares the planned ONNX variant's B/op
+// against the unplanned SavedModel baseline below and writes the ratio
+// to BENCH_inference.json.
+func benchScore(b *testing.B, kind Kind) {
+	cfg := model.BenchResNetConfig(3)
+	cfg.InputSize = 32
+	cfg.Blocks = [4]int{1, 1, 1, 1}
+	m := model.NewResNet(cfg)
+	r, err := New(kind, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.LoadModel(m); err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]float32, 2*m.InputLen())
+	// One warm-up call so cold-start work (plan state construction) stays
+	// out of the steady-state numbers even at tiny -benchtime.
+	if _, err := r.Score(inputs, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Score(inputs, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreResNetPlanned is the compiled-plan scorer: steady state
+// allocates only the returned output slice.
+func BenchmarkScoreResNetPlanned(b *testing.B) { benchScore(b, ONNX) }
+
+// BenchmarkScoreResNetUnplanned is the per-op allocating baseline over
+// the same model, batch, and kernels.
+func BenchmarkScoreResNetUnplanned(b *testing.B) { benchScore(b, SavedModel) }
+
 func BenchmarkScoreFFNN(b *testing.B) {
 	m := model.NewFFNN(1)
 	inputs := make([]float32, 784)

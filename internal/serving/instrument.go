@@ -1,10 +1,23 @@
 package serving
 
 import (
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"crayfish/internal/telemetry"
 )
+
+// allocSampleEvery is the sampling period for the serving.score.allocs
+// gauge: the heap-allocation delta is measured on the first call and
+// then every allocSampleEvery-th call, so the steady-state Score path
+// never touches runtime/metrics.
+const allocSampleEvery = 64
+
+// heapAllocsMetric is the cumulative count of heap objects allocated by
+// the process, from the runtime/metrics catalogue.
+const heapAllocsMetric = "/gc/heap/allocs:objects"
 
 // instrumentedScorer wraps a Scorer with live telemetry. It forwards
 // every Scorer method and records per-call batch size and latency, so
@@ -17,32 +30,72 @@ type instrumentedScorer struct {
 	points  *telemetry.Counter
 	batches *telemetry.Histogram
 	latency *telemetry.Histogram
+
+	// Arena telemetry: the wrapped scorer's cumulative buffer-pool
+	// stats are republished as monotone counters after every call.
+	arena       ArenaStatser // nil when the scorer has no pooled arena
+	arenaHits   *telemetry.Counter
+	arenaMisses *telemetry.Counter
+	lastHits    atomic.Uint64
+	lastMisses  atomic.Uint64
+
+	// Allocation gauge: a sampled process-wide heap-objects delta
+	// around a single Score call. Sampled calls serialise on sampleMu;
+	// all other calls only pay one atomic increment.
+	allocs   *telemetry.Gauge
+	scoreSeq atomic.Uint64
+	sampleMu sync.Mutex
+	sample   []metrics.Sample
 }
 
 // Instrument wraps s with serving.score.* metrics (see
 // docs/OBSERVABILITY.md). A nil registry returns s unchanged, keeping
 // the disabled path allocation- and indirection-free. The wrapper is
 // safe for concurrent use whenever s is, as the Scorer contract already
-// requires.
+// requires. Scorers that expose ArenaStats additionally feed the
+// tensor.arena.* counters.
 func Instrument(s Scorer, reg *telemetry.Registry) Scorer {
 	if reg == nil || s == nil {
 		return s
 	}
-	return &instrumentedScorer{
-		Scorer:  s,
-		calls:   reg.Counter("serving.score.calls"),
-		errors:  reg.Counter("serving.score.errors"),
-		points:  reg.Counter("serving.score.points"),
-		batches: reg.Histogram("serving.score.batch_size"),
-		latency: reg.Histogram("serving.score.latency_ns"),
+	i := &instrumentedScorer{
+		Scorer:      s,
+		calls:       reg.Counter("serving.score.calls"),
+		errors:      reg.Counter("serving.score.errors"),
+		points:      reg.Counter("serving.score.points"),
+		batches:     reg.Histogram("serving.score.batch_size"),
+		latency:     reg.Histogram("serving.score.latency_ns"),
+		arenaHits:   reg.Counter("tensor.arena.hits"),
+		arenaMisses: reg.Counter("tensor.arena.misses"),
+		allocs:      reg.Gauge("serving.score.allocs"),
+		sample:      []metrics.Sample{{Name: heapAllocsMetric}},
 	}
+	if as, ok := s.(ArenaStatser); ok {
+		i.arena = as
+	}
+	return i
 }
 
 // Score implements Scorer, recording telemetry around the wrapped call.
 func (i *instrumentedScorer) Score(inputs []float32, n int) ([]float32, error) {
+	sampled := i.scoreSeq.Add(1)%allocSampleEvery == 1
+	var before uint64
+	if sampled {
+		i.sampleMu.Lock()
+		metrics.Read(i.sample)
+		before = i.sample[0].Value.Uint64()
+	}
 	start := time.Now()
 	out, err := i.Scorer.Score(inputs, n)
 	i.latency.RecordSince(start)
+	if sampled {
+		metrics.Read(i.sample)
+		after := i.sample[0].Value.Uint64()
+		i.sampleMu.Unlock()
+		// Process-wide delta: an approximation, but with a planned
+		// runtime underneath it sits near zero and regressions jump out.
+		i.allocs.Set(int64(after - before))
+	}
 	i.calls.Inc()
 	i.batches.Record(int64(n))
 	if err != nil {
@@ -50,7 +103,28 @@ func (i *instrumentedScorer) Score(inputs []float32, n int) ([]float32, error) {
 	} else {
 		i.points.Add(int64(n))
 	}
+	if i.arena != nil {
+		hits, misses := i.arena.ArenaStats()
+		publishDelta(i.arenaHits, &i.lastHits, hits)
+		publishDelta(i.arenaMisses, &i.lastMisses, misses)
+	}
 	return out, err
+}
+
+// publishDelta advances the published counter to the cumulative value
+// cur. Concurrent callers race on last; the CAS guarantees each
+// increment of the source is added exactly once.
+func publishDelta(c *telemetry.Counter, last *atomic.Uint64, cur uint64) {
+	for {
+		old := last.Load()
+		if cur <= old {
+			return
+		}
+		if last.CompareAndSwap(old, cur) {
+			c.Add(int64(cur - old))
+			return
+		}
+	}
 }
 
 // Unwrap returns the underlying Scorer, letting callers that need the

@@ -26,6 +26,13 @@ type Scorer interface {
 	Name() string
 	// Score runs inference over a batch of n data points, flattened
 	// row-major into inputs, and returns n×outputSize probabilities.
+	//
+	// Buffer ownership: the inputs slice is lent to the scorer for the
+	// duration of the call and may be used as scratch space — callers
+	// must not assume its contents survive Score, and must not mutate
+	// it concurrently with the call. This is what lets the embedded
+	// runtimes run allocation-free instead of copying every batch. The
+	// returned slice is owned by the caller.
 	Score(inputs []float32, n int) ([]float32, error)
 	// InputLen returns the per-point input length the model expects.
 	InputLen() int
@@ -33,9 +40,17 @@ type Scorer interface {
 	OutputSize() int
 }
 
-// Closer is implemented by scorers holding resources (network clients).
+// Closer is implemented by scorers holding resources (network clients,
+// compiled execution plans with resident worker pools).
 type Closer interface {
 	Close() error
+}
+
+// ArenaStatser is implemented by scorers whose execution reuses pooled
+// tensor buffers (a compiled model.Plan). The cumulative hit/miss
+// counts feed the tensor.arena.* metrics via Instrument.
+type ArenaStatser interface {
+	ArenaStats() (hits, misses uint64)
 }
 
 // ValidateBatch checks a (inputs, n) pair against a model's input length.

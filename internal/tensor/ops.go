@@ -87,14 +87,25 @@ func AddBias(t, bias *Tensor) (*Tensor, error) {
 	if t.Rank() != 2 || bias.Rank() != 1 || bias.shape[0] != t.shape[1] {
 		return nil, fmt.Errorf("tensor: AddBias shape mismatch %v + %v", t.shape, bias.shape)
 	}
+	AddBiasInto(t, t, bias)
+	return t, nil
+}
+
+// AddBiasInto computes dst = t + bias broadcast over rows. dst may alias
+// t. Like MatMulInto it panics on shape mismatch: it is a hot kernel and
+// callers (execution plans) validate shapes at compile time.
+func AddBiasInto(dst, t, bias *Tensor) {
+	if dst.shape[0] != t.shape[0] || dst.shape[1] != t.shape[1] || bias.shape[0] != t.shape[1] {
+		panic(fmt.Sprintf("tensor: AddBiasInto shape mismatch %v + %v -> %v", t.shape, bias.shape, dst.shape))
+	}
 	n := t.shape[1]
 	for i := 0; i < t.shape[0]; i++ {
-		row := t.data[i*n : (i+1)*n]
+		src := t.data[i*n : (i+1)*n]
+		row := dst.data[i*n : (i+1)*n]
 		for j := range row {
-			row[j] += bias.data[j]
+			row[j] = src[j] + bias.data[j]
 		}
 	}
-	return t, nil
 }
 
 // Add computes element-wise a + b into a new tensor.
@@ -136,17 +147,29 @@ func Softmax(t *Tensor) (*Tensor, error) {
 	if t.Rank() != 2 {
 		return nil, fmt.Errorf("tensor: Softmax requires rank 2, got %v", t.shape)
 	}
-	n := t.shape[1]
-	for i := 0; i < t.shape[0]; i++ {
-		row := t.data[i*n : (i+1)*n]
+	SoftmaxInto(t, t)
+	return t, nil
+}
+
+// SoftmaxInto computes the row-wise numerically-stable softmax of src
+// into dst. dst may alias src (the in-place hot path). It panics on
+// shape mismatch.
+func SoftmaxInto(dst, src *Tensor) {
+	if dst.shape[0] != src.shape[0] || dst.shape[1] != src.shape[1] {
+		panic(fmt.Sprintf("tensor: SoftmaxInto shape mismatch %v -> %v", src.shape, dst.shape))
+	}
+	n := src.shape[1]
+	for i := 0; i < src.shape[0]; i++ {
+		in := src.data[i*n : (i+1)*n]
+		row := dst.data[i*n : (i+1)*n]
 		max := float32(math.Inf(-1))
-		for _, v := range row {
+		for _, v := range in {
 			if v > max {
 				max = v
 			}
 		}
 		var sum float64
-		for j, v := range row {
+		for j, v := range in {
 			e := float32(math.Exp(float64(v - max)))
 			row[j] = e
 			sum += float64(e)
@@ -156,7 +179,6 @@ func Softmax(t *Tensor) (*Tensor, error) {
 			row[j] *= inv
 		}
 	}
-	return t, nil
 }
 
 // BatchNorm applies per-channel inference-mode batch normalisation to an
@@ -198,18 +220,7 @@ func Conv2D(in, kernel *Tensor, stride, pad int) (*Tensor, error) {
 // thread); accelerator devices use the optimised kernel library instead
 // (blocked GEMM, Winograd, folded batch norms).
 func Conv2DReference(in, kernel *Tensor, stride, pad int) (*Tensor, error) {
-	return conv2D(in, kernel, stride, pad, func(cd, ad, bd []float32, m, k, n int) {
-		for i := 0; i < m; i++ {
-			arow := ad[i*k : (i+1)*k]
-			for j := 0; j < n; j++ {
-				var s float32
-				for p, av := range arow {
-					s += av * bd[p*n+j]
-				}
-				cd[i*n+j] = s
-			}
-		}
-	})
+	return conv2D(in, kernel, stride, pad, referenceMatMul)
 }
 
 // Conv2DParallel is Conv2D with the matmul row range fanned out over the
@@ -223,43 +234,109 @@ func Conv2DParallel(in, kernel *Tensor, stride, pad, workers int) (*Tensor, erro
 type matMulFn func(cd, ad, bd []float32, m, k, n int)
 
 func conv2D(in, kernel *Tensor, stride, pad int, mm matMulFn) (*Tensor, error) {
-	if in.Rank() != 4 || kernel.Rank() != 4 {
-		return nil, fmt.Errorf("tensor: Conv2D requires NCHW input and OIHW kernel, got %v, %v", in.shape, kernel.shape)
+	if err := conv2DCheck(in, kernel, stride, pad); err != nil {
+		return nil, err
 	}
-	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
-	oc, ic, kh, kw := kernel.shape[0], kernel.shape[1], kernel.shape[2], kernel.shape[3]
-	if ic != c {
-		return nil, fmt.Errorf("tensor: Conv2D channel mismatch: input %d, kernel %d", c, ic)
+	oh, ow := Conv2DOutDims(in, kernel, stride, pad)
+	col := make([]float32, Conv2DScratchLen(in, kernel, stride, pad))
+	out := New(in.shape[0], kernel.shape[0], oh, ow)
+	conv2DInto(out, in, kernel, stride, pad, col, mm)
+	return out, nil
+}
+
+// conv2DCheck validates an NCHW input / OIHW kernel pair for conv2D.
+func conv2DCheck(in, kernel *Tensor, stride, pad int) error {
+	if in.Rank() != 4 || kernel.Rank() != 4 {
+		return fmt.Errorf("tensor: Conv2D requires NCHW input and OIHW kernel, got %v, %v", in.shape, kernel.shape)
+	}
+	if kernel.shape[1] != in.shape[1] {
+		return fmt.Errorf("tensor: Conv2D channel mismatch: input %d, kernel %d", in.shape[1], kernel.shape[1])
 	}
 	if stride <= 0 {
-		return nil, fmt.Errorf("tensor: Conv2D stride must be positive, got %d", stride)
+		return fmt.Errorf("tensor: Conv2D stride must be positive, got %d", stride)
 	}
-	oh := (h+2*pad-kh)/stride + 1
-	ow := (w+2*pad-kw)/stride + 1
+	oh, ow := Conv2DOutDims(in, kernel, stride, pad)
 	if oh <= 0 || ow <= 0 {
-		return nil, fmt.Errorf("tensor: Conv2D output would be empty for input %v kernel %v", in.shape, kernel.shape)
+		return fmt.Errorf("tensor: Conv2D output would be empty for input %v kernel %v", in.shape, kernel.shape)
 	}
+	return nil
+}
 
-	// im2col: columns matrix is (c*kh*kw) × (oh*ow) per image.
+// Conv2DOutDims returns the output spatial dimensions of a convolution:
+// (H + 2*pad - kh)/stride + 1 by the analogous width.
+func Conv2DOutDims(in, kernel *Tensor, stride, pad int) (oh, ow int) {
+	oh = (in.shape[2]+2*pad-kernel.shape[2])/stride + 1
+	ow = (in.shape[3]+2*pad-kernel.shape[3])/stride + 1
+	return oh, ow
+}
+
+// Conv2DScratchLen returns the im2col scratch length (in float32s) that
+// Conv2DInto and friends need for the given convolution: the
+// (c*kh*kw) × (oh*ow) patch matrix of one image. Execution plans size
+// their arena scratch with it at compile time.
+func Conv2DScratchLen(in, kernel *Tensor, stride, pad int) int {
+	oh, ow := Conv2DOutDims(in, kernel, stride, pad)
+	return in.shape[1] * kernel.shape[2] * kernel.shape[3] * oh * ow
+}
+
+// Conv2DInto computes the cache-blocked im2col convolution into dst,
+// using the caller-provided im2col scratch buffer col (length at least
+// Conv2DScratchLen). It allocates nothing: dst must already have shape
+// [n, oc, oh, ow]. Like MatMulInto it panics on shape or scratch
+// mismatch — callers validate at plan-compile time.
+func Conv2DInto(dst, in, kernel *Tensor, stride, pad int, col []float32) {
+	conv2DInto(dst, in, kernel, stride, pad, col, nil)
+}
+
+// Conv2DReferenceInto is Conv2DInto with the single-thread reference GEMM
+// (the CPU device's deliberately unoptimised kernel, see Conv2DReference).
+func Conv2DReferenceInto(dst, in, kernel *Tensor, stride, pad int, col []float32) {
+	conv2DInto(dst, in, kernel, stride, pad, col, referenceMatMul)
+}
+
+// referenceMatMul is the textbook i-j-p GEMM used by Conv2DReference.
+func referenceMatMul(cd, ad, bd []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			var s float32
+			for p, av := range arow {
+				s += av * bd[p*n+j]
+			}
+			cd[i*n+j] = s
+		}
+	}
+}
+
+// conv2DInto is the shared allocation-free convolution core. mm == nil
+// selects the cache-blocked GEMM.
+func conv2DInto(dst, in, kernel *Tensor, stride, pad int, col []float32, mm matMulFn) {
+	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	oc, _, kh, kw := kernel.shape[0], kernel.shape[1], kernel.shape[2], kernel.shape[3]
+	oh, ow := Conv2DOutDims(in, kernel, stride, pad)
 	colRows := c * kh * kw
 	colCols := oh * ow
-	col := make([]float32, colRows*colCols)
-	out := New(n, oc, oh, ow)
+	if len(col) < colRows*colCols {
+		panic(fmt.Sprintf("tensor: Conv2DInto scratch %d < %d", len(col), colRows*colCols))
+	}
+	if dst.shape[0] != n || dst.shape[1] != oc || dst.shape[2] != oh || dst.shape[3] != ow {
+		panic(fmt.Sprintf("tensor: Conv2DInto dst shape %v, want [%d %d %d %d]", dst.shape, n, oc, oh, ow))
+	}
+	col = col[:colRows*colCols]
 	kmat := kernel.data // oc × (ic*kh*kw), already contiguous in OIHW.
 
 	for img := 0; img < n; img++ {
 		im2col(in.data[img*c*h*w:(img+1)*c*h*w], col, c, h, w, kh, kw, oh, ow, stride, pad)
-		dst := out.data[img*oc*colCols : (img+1)*oc*colCols]
+		out := dst.data[img*oc*colCols : (img+1)*oc*colCols]
 		if mm != nil {
-			mm(dst, kmat, col, oc, colRows, colCols)
+			mm(out, kmat, col, oc, colRows, colCols)
 		} else {
-			for i := range dst {
-				dst[i] = 0
+			for i := range out {
+				out[i] = 0
 			}
-			matMulRange(dst, kmat, col, 0, oc, colRows, colCols)
+			matMulRange(out, kmat, col, 0, oc, colRows, colCols)
 		}
 	}
-	return out, nil
 }
 
 // im2col expands one CHW image into the (c*kh*kw) × (oh*ow) patch matrix.
@@ -326,10 +403,24 @@ func MaxPool2D(in *Tensor, k, stride, pad int) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: MaxPool2D output would be empty for input %v k=%d", in.shape, k)
 	}
 	out := New(n, c, oh, ow)
+	MaxPool2DInto(out, in, k, stride, pad)
+	return out, nil
+}
+
+// MaxPool2DInto applies kxk max pooling into dst, which must already have
+// the pooled NCHW shape. It allocates nothing and panics on shape
+// mismatch (plan-compile-validated hot kernel).
+func MaxPool2DInto(dst, in *Tensor, k, stride, pad int) {
+	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	oh := (h+2*pad-k)/stride + 1
+	ow := (w+2*pad-k)/stride + 1
+	if dst.shape[0] != n || dst.shape[1] != c || dst.shape[2] != oh || dst.shape[3] != ow {
+		panic(fmt.Sprintf("tensor: MaxPool2DInto dst shape %v, want [%d %d %d %d]", dst.shape, n, c, oh, ow))
+	}
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < c; ch++ {
 			src := in.data[(img*c+ch)*h*w:]
-			dst := out.data[(img*c+ch)*oh*ow:]
+			out := dst.data[(img*c+ch)*oh*ow:]
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					best := float32(math.Inf(-1))
@@ -348,12 +439,11 @@ func MaxPool2D(in *Tensor, k, stride, pad int) (*Tensor, error) {
 							}
 						}
 					}
-					dst[oy*ow+ox] = best
+					out[oy*ow+ox] = best
 				}
 			}
 		}
 	}
-	return out, nil
 }
 
 // GlobalAvgPool2D averages each channel of an NCHW tensor to 1×1, returning
@@ -368,6 +458,19 @@ func GlobalAvgPool2D(in *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: GlobalAvgPool2D over empty spatial dims %v", in.shape)
 	}
 	out := New(n, c)
+	GlobalAvgPool2DInto(out, in)
+	return out, nil
+}
+
+// GlobalAvgPool2DInto averages each channel of an NCHW tensor into dst,
+// an already-shaped n×c rank-2 tensor. It allocates nothing and panics
+// on shape mismatch (plan-compile-validated hot kernel).
+func GlobalAvgPool2DInto(dst, in *Tensor) {
+	n, c := in.shape[0], in.shape[1]
+	hw := in.shape[2] * in.shape[3]
+	if dst.shape[0] != n || dst.shape[1] != c {
+		panic(fmt.Sprintf("tensor: GlobalAvgPool2DInto dst shape %v, want [%d %d]", dst.shape, n, c))
+	}
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < c; ch++ {
 			seg := in.data[(img*c+ch)*hw : (img*c+ch+1)*hw]
@@ -375,8 +478,7 @@ func GlobalAvgPool2D(in *Tensor) (*Tensor, error) {
 			for _, v := range seg {
 				s += float64(v)
 			}
-			out.data[img*c+ch] = float32(s / float64(hw))
+			dst.data[img*c+ch] = float32(s / float64(hw))
 		}
 	}
-	return out, nil
 }

@@ -18,22 +18,25 @@ func parallelMatMul(cd, ad, bd []float32, m, k, n, workers int) {
 	if workers > m {
 		workers = m
 	}
-	chunk := (m + workers - 1) / workers
+	// Split the m rows so every worker gets within ±1 row of the others:
+	// ceil-chunking ((m+workers-1)/workers) can hand the first workers
+	// oversized chunks and leave trailing workers with nothing, wasting
+	// the fork/join cost on idle goroutines.
+	base, rem := m/workers, m%workers
 	var wg sync.WaitGroup
+	i0 := 0
 	for w := 0; w < workers; w++ {
-		i0 := w * chunk
-		i1 := i0 + chunk
-		if i1 > m {
-			i1 = m
+		rows := base
+		if w < rem {
+			rows++
 		}
-		if i0 >= i1 {
-			break
-		}
+		i1 := i0 + rows
 		wg.Add(1)
 		go func(i0, i1 int) {
 			defer wg.Done()
 			matMulRange(cd, ad, bd, i0, i1, k, n)
 		}(i0, i1)
+		i0 = i1
 	}
 	wg.Wait()
 }
@@ -51,4 +54,33 @@ func MatMulParallel(a, b *Tensor, workers int) (*Tensor, error) {
 	c := New(a.shape[0], b.shape[1])
 	parallelMatMul(c.data, a.data, b.data, a.shape[0], a.shape[1], b.shape[1], workers)
 	return c, nil
+}
+
+// MatMulParallelInto computes dst = a × b into an already-shaped dst
+// without allocating: row ranges are fanned out to the pool's resident
+// workers while the caller computes the first chunk itself. done must
+// be an idle caller-owned WaitGroup (keep one per execution state so
+// the hot path never allocates); it is idle again on return. A nil
+// pool or workers <= 1 runs everything on the calling goroutine. Row
+// partitioning keeps the result bit-identical to MatMul and
+// MatMulParallel at any worker count. Panics on shape mismatch
+// (plan-compile-validated hot kernel).
+func MatMulParallelInto(dst, a, b *Tensor, workers int, pool *WorkPool, done *sync.WaitGroup) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulParallelInto requires rank-2 operands, got %v × %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	if a.shape[1] != b.shape[0] || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulParallelInto shape mismatch %v × %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	poolMatMul(dst.data, a.data, b.data, m, k, n, workers, pool, done)
+}
+
+// Conv2DPoolInto is Conv2DInto with the per-image GEMM fanned out over
+// the pool's resident workers — the allocation-free analogue of
+// Conv2DParallel. done follows the MatMulParallelInto contract.
+func Conv2DPoolInto(dst, in, kernel *Tensor, stride, pad int, col []float32, workers int, pool *WorkPool, done *sync.WaitGroup) {
+	conv2DInto(dst, in, kernel, stride, pad, col, func(cd, ad, bd []float32, m, k, n int) {
+		poolMatMul(cd, ad, bd, m, k, n, workers, pool, done)
+	})
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports whether the race detector is active; exact-zero
+// allocation assertions are skipped under -race because the runtime's
+// shadow memory allocates.
+const raceEnabled = true

@@ -27,14 +27,31 @@ type WinogradConv struct {
 	// one per position of the 4×4 Winograd domain.
 	u [16][]float32
 
-	scratch sync.Pool // *winoScratch
+	scratch sync.Pool // *WinoScratch
 }
 
-// winoScratch holds one call's V and M buffers for a given tile count.
-type winoScratch struct {
+// WinoScratch holds the V and M Winograd-domain buffers for one Apply
+// call at a given tile count. Execution plans pre-size one per conv
+// layer so the steady-state path never touches the allocator; Apply
+// without caller scratch falls back to an internal pool.
+type WinoScratch struct {
 	tiles int
 	v     []float32
 	m     []float32
+}
+
+// NewScratch sizes a scratch for stride-1 inputs of the given
+// height/width at the given padding. The returned scratch is tied to
+// this convolution's channel counts.
+func (w *WinogradConv) NewScratch(h, wd, pad int) *WinoScratch {
+	oh := h + 2*pad - 2
+	ow := wd + 2*pad - 2
+	tiles := ((oh + 1) / 2) * ((ow + 1) / 2)
+	return &WinoScratch{
+		tiles: tiles,
+		v:     make([]float32, 16*w.ic*tiles),
+		m:     make([]float32, 16*w.oc*tiles),
+	}
 }
 
 // NewWinogradConv pre-transforms an OIHW kernel. The kernel must be 3×3.
@@ -137,22 +154,45 @@ func (w *WinogradConv) Apply(in *Tensor, pad int) (*Tensor, error) {
 	if oh <= 0 || ow <= 0 {
 		return nil, fmt.Errorf("tensor: Winograd output would be empty for input %v", in.Shape())
 	}
-	th := (oh + 1) / 2
-	tw := (ow + 1) / 2
-	tiles := th * tw
+	tiles := ((oh + 1) / 2) * ((ow + 1) / 2)
 
 	out := New(n, w.oc, oh, ow)
 	// Scratch: V (16 × ic × tiles) and M (16 × oc × tiles), pooled
 	// across calls.
-	sc, _ := w.scratch.Get().(*winoScratch)
+	sc, _ := w.scratch.Get().(*WinoScratch)
 	if sc == nil || sc.tiles != tiles {
-		sc = &winoScratch{
+		sc = &WinoScratch{
 			tiles: tiles,
 			v:     make([]float32, 16*w.ic*tiles),
 			m:     make([]float32, 16*w.oc*tiles),
 		}
 	}
 	defer w.scratch.Put(sc)
+	w.ApplyInto(out, in, pad, sc)
+	return out, nil
+}
+
+// ApplyInto convolves an NCHW input into an already-shaped dst using
+// caller-owned scratch (see NewScratch). It allocates nothing and
+// panics on shape or scratch mismatch (plan-compile-validated hot
+// kernel).
+func (w *WinogradConv) ApplyInto(dst, in *Tensor, pad int, sc *WinoScratch) {
+	n, c, h, wd := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	if c != w.ic {
+		panic(fmt.Sprintf("tensor: Winograd channel mismatch: input %d, kernel %d", c, w.ic))
+	}
+	oh := h + 2*pad - 2
+	ow := wd + 2*pad - 2
+	th := (oh + 1) / 2
+	tw := (ow + 1) / 2
+	tiles := th * tw
+	if sc.tiles != tiles || len(sc.v) < 16*w.ic*tiles || len(sc.m) < 16*w.oc*tiles {
+		panic(fmt.Sprintf("tensor: Winograd scratch sized for %d tiles, need %d", sc.tiles, tiles))
+	}
+	if dst.shape[0] != n || dst.shape[1] != w.oc || dst.shape[2] != oh || dst.shape[3] != ow {
+		panic(fmt.Sprintf("tensor: Winograd dst shape %v, want [%d %d %d %d]", dst.shape, n, w.oc, oh, ow))
+	}
+	out := dst
 	v, mbuf := sc.v, sc.m
 
 	for img := 0; img < n; img++ {
@@ -243,7 +283,6 @@ func (w *WinogradConv) Apply(in *Tensor, pad int) (*Tensor, error) {
 			}
 		}
 	}
-	return out, nil
 }
 
 // Conv2DWinograd is a convenience wrapper constructing the transform and

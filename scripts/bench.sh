@@ -1,0 +1,45 @@
+#!/bin/sh
+# Inference microbenchmark harness (docs/PERFORMANCE.md): runs the
+# kernel-, plan-, and scorer-level benchmarks with -benchmem and writes
+# BENCH_inference.json. The scorer section pins the PR-level claim: the
+# planned (ONNX) embedded scorer's B/op must sit at least 10x below the
+# unplanned (SavedModel) baseline, at no ns/op cost.
+#
+#   BENCHTIME   per-benchmark budget (default 1s; check.sh passes 50x)
+#   OUT         output path (default BENCH_inference.json)
+set -e
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_inference.json}"
+
+go test -run NONE -benchmem -benchtime "$BENCHTIME" \
+	-bench 'MatMulBlocked128|Conv2D$|ConvDirectVsWinograd|PlanForward|UnplannedForward|ScoreResNet|ScoreFFNN' \
+	./internal/tensor/ ./internal/model/ ./internal/serving/embedded/ \
+	| awk -v benchtime="$BENCHTIME" '
+	/^pkg:/ { pkg = $2 }
+	/^Benchmark/ && /ns\/op/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		ns = $3; bytes = 0; allocs = 0
+		for (i = 4; i <= NF; i++) {
+			if ($i == "B/op") bytes = $(i - 1)
+			if ($i == "allocs/op") allocs = $(i - 1)
+		}
+		if (n++) printf ",\n"
+		printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", pkg, name, $2, ns, bytes, allocs
+		if (name ~ /ScoreResNetPlanned/)   { pb = bytes; pns = ns }
+		if (name ~ /ScoreResNetUnplanned/) { ub = bytes; uns = ns }
+	}
+	END {
+		printf "\n  ],\n"
+		if (pb > 0 && ub > 0) {
+			printf "  \"scorer_bytes_ratio\": %.2f,\n", ub / pb
+			printf "  \"scorer_speed_ratio\": %.3f,\n", uns / pns
+		}
+		printf "  \"benchtime\": \"%s\"\n}\n", benchtime
+	}
+	BEGIN { printf "{\n  \"benchmarks\": [\n" }
+	' >"$OUT"
+
+echo "wrote $OUT"
+grep -E "scorer_(bytes|speed)_ratio" "$OUT" || true

@@ -19,5 +19,17 @@ go run ./cmd/crayfishlint ./...
 # runs race-enabled and by name, before (and again within) the full
 # test sweep — a fast, attributable failure when the chaos layer breaks.
 go test -race -run TestFaultConformance -count=1 ./internal/sps/...
+# Zero-allocation regression suite (docs/PERFORMANCE.md): the Into
+# kernels, the buffer arena, and compiled plans must stay allocation-free
+# in steady state. Run race-enabled and by name for an attributable
+# failure; under -race the exact-zero assertions relax but the same
+# paths still execute race-checked.
+go test -race -count=1 \
+	-run 'TestIntoKernelsMatchAndDontAllocate|TestWinogradApplyInto|TestMatMulParallelInto|TestArena|TestPlanForwardAllocs|TestPlanConcurrent' \
+	./internal/tensor/ ./internal/model/
 go test -race ./...
 CRAYFISH_BENCH_SCALE=0.05 go test -run NONE -bench . -benchtime=1x .
+# Inference microbenchmarks at smoke scale: validates the harness and the
+# JSON pipeline without overwriting the tracked BENCH_inference.json
+# trajectory with few-iteration timing noise (full runs: scripts/bench.sh).
+BENCHTIME=5x OUT="${TMPDIR:-/tmp}/BENCH_inference.check.json" ./scripts/bench.sh
