@@ -123,3 +123,7 @@ func BenchmarkAblationNetworkRealism(b *testing.B) { runExperiment(b, "ablation-
 // BenchmarkAblationAsyncIO measures the §7 what-if: Flink's blocking
 // external calls versus its async I/O operator.
 func BenchmarkAblationAsyncIO(b *testing.B) { runExperiment(b, "ablation-asyncio") }
+
+// BenchmarkAblationDynamicBatching sweeps the scoring operator's
+// micro-batch dimension: fixed targets vs the SLO-driven AIMD controller.
+func BenchmarkAblationDynamicBatching(b *testing.B) { runExperiment(b, "ablation-dynbatch") }

@@ -32,6 +32,8 @@ func run() {
 		dataset  = flag.String("dataset", "", "path to a Crayfish dataset file (default: synthetic generator)")
 		csvOut   = flag.String("samples-csv", "", "write per-batch samples to this CSV file")
 		telEvery = flag.Duration("telemetry-interval", 0, "print live per-stage telemetry snapshots at this interval (0 = off); see docs/OBSERVABILITY.md")
+		batchMax = flag.Int("batch-max", 0, "scoring-operator micro-batching: max records per scorer call (0 = off); see docs/PERFORMANCE.md")
+		batchSLO = flag.Duration("batch-slo", 0, "p95 operator-latency SLO for AIMD batch sizing (0 = fixed target at batch-max); needs -batch-max")
 	)
 	flag.Parse()
 
@@ -73,6 +75,11 @@ func run() {
 	}
 	if *lan {
 		cfg.Network = crayfish.LAN
+	}
+	if *batchMax > 0 {
+		cfg.Batching = &crayfish.BatchingPolicy{MaxBatch: *batchMax, SLO: *batchSLO}
+	} else if *batchSLO > 0 {
+		fatalf("-batch-slo needs -batch-max")
 	}
 	if *telEvery > 0 {
 		cfg.Telemetry = crayfish.NewTelemetry()

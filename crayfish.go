@@ -37,6 +37,7 @@ import (
 	"os"
 	"time"
 
+	"crayfish/internal/batching"
 	"crayfish/internal/broker"
 	"crayfish/internal/core"
 	"crayfish/internal/experiments"
@@ -80,6 +81,12 @@ type (
 	Sample = core.Sample
 	// DataBatch is the CrayfishDataBatch unit of computation.
 	DataBatch = core.DataBatch
+	// BatchingPolicy enables dynamic micro-batching in the scoring
+	// operator via Config.Batching: concurrent record scorings coalesce
+	// into multi-record scorer invocations under size + linger triggers,
+	// with an optional AIMD latency SLO tuning the batch size. See
+	// docs/PERFORMANCE.md ("Dynamic batching").
+	BatchingPolicy = batching.Policy
 	// NetworkProfile models an inter-machine link.
 	NetworkProfile = netsim.Profile
 	// TelemetryRegistry collects live per-stage metrics during a run;

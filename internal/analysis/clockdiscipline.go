@@ -17,11 +17,15 @@ import (
 // harness does not introduce. The fault injector joins the list because
 // its event schedule and delay jitter must replay deterministically: a
 // stray wall-clock read there breaks the byte-identical fault log.
+// The micro-batcher joins because its linger deadline and AIMD latency
+// window are part of the measured operator latency: both must run off
+// the injectable batching.Clock so trigger tests are deterministic.
 var clockRestricted = []string{
 	"internal/broker",
 	"internal/netsim",
 	"internal/gpu",
 	"internal/faults",
+	"internal/batching",
 }
 
 // clockBanned is the set of time-package functions that must not be
@@ -40,7 +44,7 @@ var clockBanned = map[string]bool{
 func NewClockDiscipline() *Analyzer {
 	a := &Analyzer{
 		Name: "clockdiscipline",
-		Doc:  "timestamp-path packages (broker, netsim, gpu, faults) must route time through the injected clock / network model",
+		Doc:  "timestamp-path packages (broker, netsim, gpu, faults, batching) must route time through the injected clock / network model",
 	}
 	a.Run = func(pass *Pass) {
 		if !clockRestrictedPkg(pass.Pkg.ModRel) {

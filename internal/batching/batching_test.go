@@ -1,0 +1,420 @@
+package batching
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crayfish/internal/telemetry"
+)
+
+// fakeClock is a hand-cranked virtual clock: Now reads a settable
+// instant and After hands every watcher the same manually-fired
+// channel, so tests drive the linger trigger deterministically.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+	ch  chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(0, 0), ch: make(chan time.Time)}
+}
+
+func (f *fakeClock) Clock() Clock {
+	return Clock{
+		Now: func() time.Time {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return f.now
+		},
+		After: func(time.Duration) <-chan time.Time { return f.ch },
+	}
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// fireLinger wakes one linger watcher, as if its deadline passed.
+func (f *fakeClock) fireLinger() { f.ch <- time.Time{} }
+
+// echoBatch is the reference batch transform: every value gains a
+// "!scored" suffix, positionally.
+func echoBatch(values [][]byte) ([][]byte, error) {
+	outs := make([][]byte, len(values))
+	for i, v := range values {
+		outs[i] = append(append([]byte(nil), v...), []byte("!scored")...)
+	}
+	return outs, nil
+}
+
+func echoSingle(value []byte) ([]byte, error) {
+	return append(append([]byte(nil), value...), []byte("!scored")...), nil
+}
+
+// pendingLen reads the open batch's size (test-only).
+func (b *Batcher) pendingLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cur == nil {
+		return 0
+	}
+	return len(b.cur.reqs)
+}
+
+func TestSizeTriggerCoalescesAndDemuxes(t *testing.T) {
+	fc := newFakeClock()
+	reg := telemetry.New()
+	var calls atomic.Int64
+	var maxSeen atomic.Int64
+	b, err := New(Config{
+		Policy: Policy{MaxBatch: 4, Linger: time.Hour},
+		Batch: func(values [][]byte) ([][]byte, error) {
+			calls.Add(1)
+			if n := int64(len(values)); n > maxSeen.Load() {
+				maxSeen.Store(n)
+			}
+			return echoBatch(values)
+		},
+		Metrics: reg,
+		Clock:   fc.Clock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 8 // two full batches of 4
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = b.Do([]byte(fmt.Sprintf("r%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("record %d: %v", i, errs[i])
+		}
+		want := []byte(fmt.Sprintf("r%d!scored", i))
+		if !bytes.Equal(results[i], want) {
+			t.Fatalf("record %d demuxed wrong: %q != %q", i, results[i], want)
+		}
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("batch invocations = %d, want 2", got)
+	}
+	if got := maxSeen.Load(); got != 4 {
+		t.Fatalf("max batch size seen = %d, want 4", got)
+	}
+	if got := reg.Counter(metricSizeFlush).Value(); got != 2 {
+		t.Fatalf("%s = %d, want 2", metricSizeFlush, got)
+	}
+	if got := reg.Counter(metricLingerFlush).Value(); got != 0 {
+		t.Fatalf("%s = %d, want 0", metricLingerFlush, got)
+	}
+	if got := reg.Histogram(metricBatchSize).Count(); got != 2 {
+		t.Fatalf("%s count = %d, want 2", metricBatchSize, got)
+	}
+}
+
+func TestLingerTriggerShipsPartialBatch(t *testing.T) {
+	fc := newFakeClock()
+	reg := telemetry.New()
+	b, err := New(Config{
+		Policy:  Policy{MaxBatch: 16, Linger: time.Millisecond},
+		Batch:   echoBatch,
+		Metrics: reg,
+		Clock:   fc.Clock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	results := make([][]byte, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = b.Do([]byte(fmt.Sprintf("r%d", i)))
+		}(i)
+	}
+	// Wait until both records are coalesced, then fire the deadline.
+	for b.pendingLen() != 2 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	fc.fireLinger()
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		want := []byte(fmt.Sprintf("r%d!scored", i))
+		if !bytes.Equal(results[i], want) {
+			t.Fatalf("record %d: %q != %q", i, results[i], want)
+		}
+	}
+	if got := reg.Counter(metricLingerFlush).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", metricLingerFlush, got)
+	}
+	if got := reg.Counter(metricSizeFlush).Value(); got != 0 {
+		t.Fatalf("%s = %d, want 0", metricSizeFlush, got)
+	}
+}
+
+func TestPartialBatchErrorDropsOnlyFailingRecords(t *testing.T) {
+	fc := newFakeClock()
+	wantErr := errors.New("record poisoned")
+	b, err := New(Config{
+		Policy: Policy{MaxBatch: 4, Linger: time.Hour},
+		Batch: func(values [][]byte) ([][]byte, error) {
+			return nil, errors.New("whole batch failed")
+		},
+		Single: func(value []byte) ([]byte, error) {
+			if bytes.Equal(value, []byte("poison")) {
+				return nil, wantErr
+			}
+			return echoSingle(value)
+		},
+		Clock: fc.Clock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	inputs := [][]byte{[]byte("a"), []byte("poison"), []byte("b"), []byte("c")}
+	var wg sync.WaitGroup
+	results := make([][]byte, len(inputs))
+	errs := make([]error, len(inputs))
+	for i := range inputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = b.Do(inputs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range inputs {
+		if i == 1 {
+			if !errors.Is(errs[i], wantErr) {
+				t.Fatalf("poisoned record error = %v, want %v", errs[i], wantErr)
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("healthy record %d failed: %v", i, errs[i])
+		}
+		want := append(append([]byte(nil), inputs[i]...), []byte("!scored")...)
+		if !bytes.Equal(results[i], want) {
+			t.Fatalf("record %d: %q != %q", i, results[i], want)
+		}
+	}
+}
+
+func TestOutputCountMismatchTriggersFallback(t *testing.T) {
+	fc := newFakeClock()
+	var singles atomic.Int64
+	b, err := New(Config{
+		Policy: Policy{MaxBatch: 2, Linger: time.Hour},
+		Batch: func(values [][]byte) ([][]byte, error) {
+			return values[:1], nil // one output short
+		},
+		Single: func(value []byte) ([]byte, error) {
+			singles.Add(1)
+			return echoSingle(value)
+		},
+		Clock: fc.Clock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := b.Do([]byte{byte(i)})
+			if err != nil || !bytes.HasSuffix(out, []byte("!scored")) {
+				t.Errorf("record %d: %q, %v", i, out, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := singles.Load(); got != 2 {
+		t.Fatalf("fallback singles = %d, want 2", got)
+	}
+}
+
+func TestBatchErrorWithoutFallbackPropagates(t *testing.T) {
+	fc := newFakeClock()
+	wantErr := errors.New("scorer down")
+	b, err := New(Config{
+		Policy: Policy{MaxBatch: 1, Linger: time.Hour},
+		Batch:  func([][]byte) ([][]byte, error) { return nil, wantErr },
+		Clock:  fc.Clock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Do([]byte("x")); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestAIMDGrowsUnderSLOAndHalvesOnBreach(t *testing.T) {
+	fc := newFakeClock()
+	reg := telemetry.New()
+	b, err := New(Config{
+		Policy:  Policy{MaxBatch: 8, MinBatch: 1, Linger: time.Hour, SLO: time.Millisecond, Window: 4},
+		Batch:   echoBatch,
+		Metrics: reg,
+		Clock:   fc.Clock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if got := b.Target(); got != 1 {
+		t.Fatalf("adaptive target starts at %d, want MinBatch 1", got)
+	}
+
+	window := func(age time.Duration) []*request {
+		reqs := make([]*request, 4)
+		for i := range reqs {
+			reqs[i] = &request{start: fc.Clock().Now().Add(-age)}
+		}
+		return reqs
+	}
+	// Additive increase: four under-SLO windows, one step each.
+	for i := 0; i < 4; i++ {
+		b.observe(window(0))
+	}
+	if got := b.Target(); got != 5 {
+		t.Fatalf("target after 4 good windows = %d, want 5", got)
+	}
+	if got := reg.Gauge(metricTarget).Value(); got != 5 {
+		t.Fatalf("%s gauge = %d, want 5", metricTarget, got)
+	}
+	// Multiplicative decrease on breach.
+	b.observe(window(10 * time.Millisecond))
+	if got := b.Target(); got != 2 {
+		t.Fatalf("target after breach = %d, want 2 (halved from 5, floored at 2)", got)
+	}
+	// Clamp at MaxBatch.
+	for i := 0; i < 20; i++ {
+		b.observe(window(0))
+	}
+	if got := b.Target(); got != 8 {
+		t.Fatalf("target clamps at %d, want MaxBatch 8", got)
+	}
+	// Halving never goes below MinBatch.
+	for i := 0; i < 10; i++ {
+		b.observe(window(10 * time.Millisecond))
+	}
+	if got := b.Target(); got != 1 {
+		t.Fatalf("target floors at %d, want MinBatch 1", got)
+	}
+}
+
+func TestCloseFlushesOpenBatchAndRejectsNewWork(t *testing.T) {
+	fc := newFakeClock()
+	b, err := New(Config{
+		Policy: Policy{MaxBatch: 16, Linger: time.Hour},
+		Batch:  echoBatch,
+		Clock:  fc.Clock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var out []byte
+	var doErr error
+	go func() {
+		defer close(done)
+		out, doErr = b.Do([]byte("straggler"))
+	}()
+	for b.pendingLen() != 1 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.Close()
+	<-done
+	if doErr != nil || !bytes.Equal(out, []byte("straggler!scored")) {
+		t.Fatalf("drained record: %q, %v", out, doErr)
+	}
+	if _, err := b.Do([]byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.WithDefaults()
+	if p.MaxBatch != 16 || p.MinBatch != 1 || p.Linger != 2*time.Millisecond || p.Window != 64 {
+		t.Fatalf("defaults: %+v", p)
+	}
+	q := Policy{MaxBatch: 4, MinBatch: 9}.WithDefaults()
+	if q.MinBatch != 4 {
+		t.Fatalf("MinBatch not clamped to MaxBatch: %+v", q)
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a config without a Batch function")
+	}
+}
+
+// TestConcurrentStress hammers a real-clock batcher from many
+// goroutines; under -race this is the package's concurrency proof.
+func TestConcurrentStress(t *testing.T) {
+	reg := telemetry.New()
+	b, err := New(Config{
+		Policy:  Policy{MaxBatch: 8, Linger: 100 * time.Microsecond, SLO: 50 * time.Millisecond, Window: 16},
+		Batch:   echoBatch,
+		Single:  echoSingle,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				in := []byte(fmt.Sprintf("w%d-%d", w, i))
+				out, err := b.Do(in)
+				if err != nil {
+					t.Errorf("w%d-%d: %v", w, i, err)
+					return
+				}
+				want := append(append([]byte(nil), in...), []byte("!scored")...)
+				if !bytes.Equal(out, want) {
+					t.Errorf("w%d-%d demuxed wrong: %q", w, i, out)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.Close()
+	total := reg.Counter(metricSizeFlush).Value() + reg.Counter(metricLingerFlush).Value()
+	if total == 0 {
+		t.Fatal("no flushes recorded")
+	}
+	if got := reg.Histogram(metricBatchSize).Sum(); got != workers*perWorker {
+		t.Fatalf("batch size histogram sum = %d, want %d records", got, workers*perWorker)
+	}
+}

@@ -313,6 +313,16 @@ type FetchRequest struct {
 // partitions. Requests are served in order; the network cost is charged
 // once for the whole response.
 func (b *Broker) FetchMulti(topicName string, reqs []FetchRequest, maxTotal int) ([]Record, error) {
+	return b.FetchMultiInto(topicName, reqs, maxTotal, nil)
+}
+
+// FetchMultiInto is FetchMulti appending into out, reusing its capacity
+// — the allocation-free poll path steady-state consumers ride (see
+// docs/PERFORMANCE.md). The appended Record structs copy out of the
+// log, so they stay valid regardless of what the caller later does with
+// the buffer; their Key/Value byte slices alias the immutable stored
+// records, exactly as FetchMulti's do.
+func (b *Broker) FetchMultiInto(topicName string, reqs []FetchRequest, maxTotal int, out []Record) ([]Record, error) {
 	t, err := b.topic(topicName)
 	if err != nil {
 		return nil, err
@@ -320,28 +330,28 @@ func (b *Broker) FetchMulti(topicName string, reqs []FetchRequest, maxTotal int)
 	if maxTotal <= 0 {
 		maxTotal = 1
 	}
-	var out []Record
+	base := len(out)
 	for _, req := range reqs {
 		if req.Partition < 0 || req.Partition >= len(t.parts) {
 			return nil, fmt.Errorf("%w: %s/%d", ErrUnknownPartition, topicName, req.Partition)
 		}
-		if len(out) >= maxTotal {
+		if len(out)-base >= maxTotal {
 			break
 		}
-		recs, err := t.parts[req.Partition].fetch(req.Offset, maxTotal-len(out))
+		out, err = t.parts[req.Partition].fetchInto(req.Offset, maxTotal-(len(out)-base), out)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, recs...)
 	}
+	fetched := out[base:]
 	if b.cfg.Network.Enabled() {
 		bytes := 0
-		for i := range out {
-			bytes += len(out[i].Value) + len(out[i].Key)
+		for i := range fetched {
+			bytes += len(fetched[i].Value) + len(fetched[i].Key)
 		}
 		b.cfg.Network.Apply(bytes)
 	}
-	b.countFetch(t, out)
+	b.countFetch(t, fetched)
 	return out, nil
 }
 
@@ -448,6 +458,13 @@ func (p *partition) append(recs []Record, clock func() time.Time) int64 {
 // log start (truncated by retention) resets to the earliest retained
 // record, Kafka's auto.offset.reset=earliest behaviour.
 func (p *partition) fetch(offset int64, max int) ([]Record, error) {
+	return p.fetchInto(offset, max, nil)
+}
+
+// fetchInto is fetch appending into out, so multi-partition pollers
+// reuse one response buffer across calls instead of allocating per
+// partition per poll.
+func (p *partition) fetchInto(offset int64, max int, out []Record) ([]Record, error) {
 	if max <= 0 {
 		max = 1
 	}
@@ -461,16 +478,14 @@ func (p *partition) fetch(offset int64, max int) ([]Record, error) {
 		offset = p.start
 	}
 	if offset == end {
-		return nil, nil
+		return out, nil
 	}
 	lo := offset - p.start
 	hi := lo + int64(max)
 	if hi > int64(len(p.recs)) {
 		hi = int64(len(p.recs))
 	}
-	out := make([]Record, hi-lo)
-	copy(out, p.recs[lo:hi])
-	return out, nil
+	return append(out, p.recs[lo:hi]...), nil
 }
 
 func (p *partition) end() int64 {

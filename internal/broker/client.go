@@ -39,6 +39,18 @@ type AppendNotifier interface {
 
 var _ AppendNotifier = (*Broker)(nil)
 
+// MultiFetcherInto is the optional transport extension for
+// allocation-free polling: FetchMultiInto appends the fetched records
+// into the caller's reusable buffer instead of allocating a response
+// slice per call. The in-process *Broker implements it; remote
+// transports do not, and consumers fall back to the allocating
+// FetchMulti.
+type MultiFetcherInto interface {
+	FetchMultiInto(topic string, reqs []FetchRequest, maxTotal int, out []Record) ([]Record, error)
+}
+
+var _ MultiFetcherInto = (*Broker)(nil)
+
 // Producer writes records to a topic, spreading keyless records
 // round-robin across partitions and hashing keyed records.
 type Producer struct {
@@ -130,6 +142,12 @@ type Consumer struct {
 	positions map[TopicPartition]int64
 	rr        int
 	closed    bool
+
+	// reqs and recs are Poll's reusable request and response buffers
+	// (guarded by mu like the rest of the poll state), so the
+	// steady-state fetch path stops reallocating per call.
+	reqs []FetchRequest
+	recs []Record
 }
 
 // NewAssignedConsumer creates a consumer reading the given partitions of a
@@ -240,6 +258,12 @@ func (c *Consumer) Positions() map[TopicPartition]int64 {
 // when nothing new is available (pull model: the caller decides whether to
 // spin, sleep, or proceed). In group mode a broker-side rebalance is
 // handled transparently by adopting the new assignment.
+//
+// Buffer ownership: the returned slice is the consumer's reusable
+// response buffer — it stays valid only until the next Poll/PollWait
+// call, so consume (or copy out) its records before polling again. The
+// records' Key/Value byte slices alias the broker's immutable log and
+// remain valid past the next poll.
 func (c *Consumer) Poll(max int) ([]Record, error) {
 	if max <= 0 {
 		max = 1
@@ -262,16 +286,23 @@ func (c *Consumer) Poll(max int) ([]Record, error) {
 	if len(c.assigned) == 0 {
 		return nil, nil
 	}
-	reqs := make([]FetchRequest, 0, len(c.assigned))
+	c.reqs = c.reqs[:0]
 	for i := range c.assigned {
 		tp := c.assigned[(c.rr+i)%len(c.assigned)]
-		reqs = append(reqs, FetchRequest{Partition: tp.Partition, Offset: c.positions[tp]})
+		c.reqs = append(c.reqs, FetchRequest{Partition: tp.Partition, Offset: c.positions[tp]})
 	}
 	c.rr++
-	out, err := c.t.FetchMulti(c.topic, reqs, max)
+	var out []Record
+	var err error
+	if mf, ok := c.t.(MultiFetcherInto); ok {
+		out, err = mf.FetchMultiInto(c.topic, c.reqs, max, c.recs[:0])
+	} else {
+		out, err = c.t.FetchMulti(c.topic, c.reqs, max)
+	}
 	if err != nil {
 		return nil, err
 	}
+	c.recs = out[:0]
 	for _, rec := range out {
 		tp := TopicPartition{Topic: c.topic, Partition: rec.Partition}
 		if rec.Offset+1 > c.positions[tp] {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"crayfish/internal/batching"
 	"crayfish/internal/netsim"
 	"crayfish/internal/telemetry"
 )
@@ -95,6 +96,11 @@ type Config struct {
 	SinkParallelism    int
 	// Partitions is the per-topic partition count (the paper uses 32).
 	Partitions int
+	// Batching, when set, coalesces concurrent scoring-operator calls
+	// into multi-record scorer invocations under the policy's size +
+	// linger triggers (with an SLO, the AIMD controller tunes the batch
+	// size). Nil keeps the per-record path — the paper's baseline.
+	Batching *batching.Policy
 	// Network models the links between the paper's separate machines
 	// (producer ↔ broker ↔ SPS ↔ serving VM). The zero profile keeps
 	// everything at in-process speed; experiments use netsim.LAN to

@@ -137,11 +137,13 @@ func (r *Runner) runWithScorer(cfg Config, scorer serving.Scorer) (*Result, erro
 		}
 	}
 	job, err := engine.Run(sps.JobSpec{
-		Transport:   transport,
-		InputTopic:  InputTopic,
-		OutputTopic: OutputTopic,
-		Group:       fmt.Sprintf("crayfish-sut-%d", atomic.AddInt64(&runSeq, 1)),
-		Transform:   MakeTransform(codec, scorer),
+		Transport:      transport,
+		InputTopic:     InputTopic,
+		OutputTopic:    OutputTopic,
+		Group:          fmt.Sprintf("crayfish-sut-%d", atomic.AddInt64(&runSeq, 1)),
+		Transform:      MakeTransform(codec, scorer),
+		BatchTransform: MakeBatchTransform(codec, scorer),
+		Batching:       cfg.Batching,
 		Parallelism: sps.Parallelism{
 			Default: cfg.ParallelismDefault,
 			Source:  cfg.SourceParallelism,

@@ -141,3 +141,45 @@ func MakeTransform(codec BatchCodec, scorer serving.Scorer) sps.Transform {
 		return codec.Marshal(b)
 	}
 }
+
+// MakeBatchTransform builds the multi-record scoring path driven by the
+// dynamic micro-batcher (JobSpec.BatchTransform): decode every coalesced
+// CrayfishDataBatch, score them all through one serving.ScoreBatch call
+// (one plan execution embedded, one wire round-trip external), attach
+// each record's predictions, re-encode positionally. Any decode or
+// marshal failure fails the whole invocation — the batcher then
+// isolates the failure by re-running records through the single-record
+// fallback, so a poisoned record drops alone.
+func MakeBatchTransform(codec BatchCodec, scorer serving.Scorer) sps.BatchTransform {
+	if codec == nil {
+		codec = JSONCodec{}
+	}
+	return func(values [][]byte) ([][]byte, error) {
+		bs := make([]*DataBatch, len(values))
+		inputs := make([][]float32, len(values))
+		counts := make([]int, len(values))
+		for i, v := range values {
+			b, err := codec.Unmarshal(v)
+			if err != nil {
+				return nil, err
+			}
+			bs[i] = b
+			inputs[i] = b.Inputs
+			counts[i] = b.Count
+		}
+		preds, err := serving.ScoreBatch(scorer, inputs, counts)
+		if err != nil {
+			return nil, err
+		}
+		outs := make([][]byte, len(values))
+		for i, b := range bs {
+			b.Predictions = preds[i]
+			out, err := codec.Marshal(b)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = out
+		}
+		return outs, nil
+	}
+}

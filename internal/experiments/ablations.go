@@ -5,12 +5,14 @@ import (
 	"math/rand"
 	"time"
 
+	"crayfish/internal/batching"
 	"crayfish/internal/broker"
 	"crayfish/internal/core"
 	"crayfish/internal/model"
 	"crayfish/internal/netsim"
 	"crayfish/internal/serving/embedded"
 	"crayfish/internal/sps/flink"
+	"crayfish/internal/telemetry"
 )
 
 // AblationProducerBatching quantifies the §3.5 "producer-level batching"
@@ -289,5 +291,56 @@ func AblationNetworkRealism(opts Options) (*Report, error) {
 		}
 	}
 	r.AddNote("the LAN profile is fitted to the paper's measured pings (netsim.LAN); it is what makes scaling curves and external-call costs behave like the 9-VM deployment")
+	return r, nil
+}
+
+// AblationDynamicBatching sweeps the scoring operator's micro-batch
+// dimension (§4's bsz lever applied inside the operator): fixed batch
+// targets against the SLO-driven AIMD controller, on the external
+// serving path where every scorer invocation pays a wire round trip —
+// the cost coalescing amortises.
+func AblationDynamicBatching(opts Options) (*Report, error) {
+	o := opts.withDefaults()
+	r := &Report{
+		ID:     "Ablation A8",
+		Title:  "Dynamic micro-batching: fixed targets vs SLO-driven AIMD (Flink + TF-Serving, FFNN)",
+		Header: []string{"batching", "throughput (events/s)", "mean latency", "batches", "final target"},
+	}
+	d := o.scaled(2 * time.Second)
+	run := func(label string, policy *batching.Policy) error {
+		reg := telemetry.New()
+		cfg := o.baseConfig("flink", externalTool("tf-serving"), o.ffnnWorkload(), "ffnn", 4)
+		cfg.Batching = policy
+		cfg.Telemetry = reg
+		cfg.Workload.InputRate = 2_000
+		cfg.Workload.Duration = d
+		runner := &core.Runner{DrainTimeout: time.Millisecond}
+		res, err := runner.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("ablation dynbatch (%s): %w", label, err)
+		}
+		batches, target := "—", "—"
+		if policy != nil && res.Telemetry != nil {
+			batches = fmt.Sprintf("%d", res.Telemetry.Histograms["sps.batch.size"].Count)
+			target = fmt.Sprintf("%d", res.Telemetry.Gauges["sps.batch.target"])
+		}
+		o.logf("ablation dynbatch %s: %.1f events/s, %v mean", label, res.Metrics.Throughput, res.Metrics.Latency.Mean)
+		r.AddRow(label, fmtRate(res.Metrics.Throughput), fmtMs(res.Metrics.Latency.Mean), batches, target)
+		return nil
+	}
+	if err := run("off", nil); err != nil {
+		return nil, err
+	}
+	for _, bsz := range []int{1, 4, 16, 64} {
+		p := &batching.Policy{MaxBatch: bsz, MinBatch: bsz}
+		if err := run(fmt.Sprintf("fixed bsz=%d", bsz), p); err != nil {
+			return nil, err
+		}
+	}
+	adaptive := &batching.Policy{MaxBatch: 64, SLO: 50 * time.Millisecond, Window: 32}
+	if err := run("adaptive (AIMD, SLO 50ms)", adaptive); err != nil {
+		return nil, err
+	}
+	r.AddNote("larger fixed targets trade queueing latency for fewer wire round trips; the AIMD controller finds the largest target whose p95 operator latency holds the SLO")
 	return r, nil
 }

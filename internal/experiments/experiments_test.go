@@ -183,7 +183,7 @@ func TestRecoveryTiny(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	defs := All()
-	if len(defs) != 20 {
+	if len(defs) != 21 {
 		t.Fatalf("registry has %d experiments", len(defs))
 	}
 	seen := map[string]bool{}

@@ -34,6 +34,7 @@ func All() []Definition {
 		{"ablation-asyncio", "Blocking vs async I/O external calls", AblationAsyncIO},
 		{"ablation-kernels", "Accelerator kernel paths", AblationFastKernels},
 		{"ablation-network", "Loopback vs modelled LAN", AblationNetworkRealism},
+		{"ablation-dynbatch", "Dynamic micro-batching in the scoring operator", AblationDynamicBatching},
 		{"recovery", "Fault injection and recovery", RecoveryFaultInjection},
 	}
 }

@@ -273,6 +273,27 @@ func TestFFICrossPreservesValues(t *testing.T) {
 	}
 }
 
+func TestPlannedRuntimesAllocProfile(t *testing.T) {
+	// The planned runtimes' steady state allocates only the returned
+	// output slice: ONNX since the plan/arena work, DL4J since its FFI
+	// marshalling moved to pooled scratch (docs/PERFORMANCE.md).
+	m := model.NewFFNN(1)
+	for _, kind := range []Kind{ONNX, DL4J} {
+		r := loadRuntime(t, kind, m)
+		inputs := randBatch(m, 1, 13)
+		work := make([]float32, len(inputs))
+		allocs := testing.AllocsPerRun(50, func() {
+			copy(work, inputs)
+			if _, err := r.Score(work, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 1 {
+			t.Errorf("%s: %.1f allocs/op in steady state, want <= 1", kind, allocs)
+		}
+	}
+}
+
 func TestRelativeSpeedONNXFastest(t *testing.T) {
 	// Table 4 shape within embedded tools: ONNX >= SavedModel > DL4J in
 	// throughput, i.e. ONNX cheapest per call, DL4J most expensive.

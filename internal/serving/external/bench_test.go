@@ -1,0 +1,62 @@
+package external
+
+import (
+	"testing"
+
+	"crayfish/internal/model"
+	"crayfish/internal/modelfmt"
+	"crayfish/internal/netsim"
+	"crayfish/internal/serving"
+)
+
+// BenchmarkScoreBatchedVsUnbatched pins the PR-level micro-batching
+// claim on the external serving path: coalescing 16 single-record
+// scorings into one ScoreBatch call pays the modelled LAN round trip
+// once instead of 16 times. Both sub-benchmarks score the same 16
+// records per iteration, so records/sec scales as the inverse ns/op
+// ratio; scripts/bench.sh derives batched_vs_unbatched_ratio from the
+// pair and docs/PERFORMANCE.md requires it to stay ≥ 2.
+func BenchmarkScoreBatchedVsUnbatched(b *testing.B) {
+	m := model.NewFFNN(1)
+	data, err := modelfmt.Encode(modelfmt.SavedModel, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := Start(Config{Kind: TFServing, ModelBytes: data, Workers: 2, Network: netsim.LAN})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialClient(TFServing, srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const coalesce = 16
+	rows := ffnnBatch(m, coalesce, 11)
+	width := m.InputLen()
+
+	b.Run("unbatched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < coalesce; j++ {
+				if _, err := c.Score(rows[j*width:(j+1)*width], 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		batches := make([][]float32, coalesce)
+		counts := make([]int, coalesce)
+		for j := range batches {
+			batches[j] = rows[j*width : (j+1)*width]
+			counts[j] = 1
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := serving.ScoreBatch(c, batches, counts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

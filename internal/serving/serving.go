@@ -64,6 +64,60 @@ func ValidateBatch(inputs []float32, n, inputLen int) error {
 	return nil
 }
 
+// ScoreBatch scores several independent record batches in one Scorer
+// invocation — the multi-record path behind the dynamic micro-batcher
+// (internal/batching). The batches are concatenated row-major into a
+// single Score call, so an embedded runtime executes one plan and an
+// external client pays one wire round-trip for the whole coalesced set;
+// the returned predictions are split back positionally (out[i] belongs
+// to batches[i]).
+//
+// Because every model here is row-independent (§3.2: apply maps each
+// data point through the same network), scoring the concatenation is
+// bit-identical to scoring each batch alone — the invariant the
+// spstest batching conformance suite enforces per engine×serving pair.
+//
+// Buffer ownership: batches[i] is copied into a fresh concatenation
+// buffer, so unlike Score the caller's slices are never used as
+// scratch. The returned slices alias one predictions allocation and are
+// owned by the caller.
+func ScoreBatch(s Scorer, batches [][]float32, counts []int) ([][]float32, error) {
+	if len(batches) != len(counts) {
+		return nil, fmt.Errorf("serving: %d batches with %d counts", len(batches), len(counts))
+	}
+	if len(batches) == 0 {
+		return nil, nil
+	}
+	inputLen := s.InputLen()
+	total := 0
+	for i, b := range batches {
+		if err := ValidateBatch(b, counts[i], inputLen); err != nil {
+			return nil, err
+		}
+		total += counts[i]
+	}
+	concat := make([]float32, 0, total*inputLen)
+	for _, b := range batches {
+		concat = append(concat, b...)
+	}
+	preds, err := s.Score(concat, total)
+	if err != nil {
+		return nil, err
+	}
+	outSize := s.OutputSize()
+	if len(preds) != total*outSize {
+		return nil, fmt.Errorf("serving: batched score returned %d values for %d points of width %d", len(preds), total, outSize)
+	}
+	outs := make([][]float32, len(batches))
+	off := 0
+	for i, n := range counts {
+		end := off + n*outSize
+		outs[i] = preds[off:end:end]
+		off = end
+	}
+	return outs, nil
+}
+
 // EncodeBatch renders a float32 batch as the compact binary wire payload
 // used by the gRPC-style external servers: u32 count then raw
 // little-endian values.

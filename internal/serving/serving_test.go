@@ -1,9 +1,92 @@
 package serving
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
+
+// stubScorer doubles every input value and widens each point to outWidth
+// outputs, so split positions are easy to predict.
+type stubScorer struct {
+	inputLen, outWidth int
+	err                error
+	short              bool
+}
+
+func (s *stubScorer) Name() string    { return "stub" }
+func (s *stubScorer) InputLen() int   { return s.inputLen }
+func (s *stubScorer) OutputSize() int { return s.outWidth }
+
+func (s *stubScorer) Score(inputs []float32, n int) ([]float32, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if err := ValidateBatch(inputs, n, s.inputLen); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n*s.outWidth)
+	for p := 0; p < n; p++ {
+		for o := 0; o < s.outWidth; o++ {
+			out[p*s.outWidth+o] = 2 * inputs[p*s.inputLen]
+		}
+	}
+	if s.short {
+		out = out[:len(out)-1]
+	}
+	return out, nil
+}
+
+func TestScoreBatchMatchesPerBatchScoring(t *testing.T) {
+	s := &stubScorer{inputLen: 3, outWidth: 2}
+	batches := [][]float32{
+		{1, 1, 1, 2, 2, 2},          // two points
+		{3, 3, 3},                   // one point
+		{4, 4, 4, 5, 5, 5, 6, 6, 6}, // three points
+	}
+	counts := []int{2, 1, 3}
+	got, err := ScoreBatch(s, batches, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batches) {
+		t.Fatalf("got %d outputs for %d batches", len(got), len(batches))
+	}
+	for i := range batches {
+		want, err := s.Score(append([]float32(nil), batches[i]...), counts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got[i]) != len(want) {
+			t.Fatalf("batch %d: %d values, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("batch %d value %d: %v != %v (must be bit-identical)", i, j, got[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestScoreBatchValidation(t *testing.T) {
+	s := &stubScorer{inputLen: 3, outWidth: 2}
+	if _, err := ScoreBatch(s, [][]float32{{1, 2, 3}}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched counts accepted")
+	}
+	if _, err := ScoreBatch(s, [][]float32{{1, 2}}, []int{1}); err == nil {
+		t.Fatal("short batch accepted")
+	}
+	if out, err := ScoreBatch(s, nil, nil); err != nil || out != nil {
+		t.Fatalf("empty call: %v, %v", out, err)
+	}
+	wantErr := errors.New("scorer down")
+	if _, err := ScoreBatch(&stubScorer{inputLen: 3, outWidth: 2, err: wantErr}, [][]float32{{1, 2, 3}}, []int{1}); !errors.Is(err, wantErr) {
+		t.Fatalf("scorer error not propagated: %v", err)
+	}
+	if _, err := ScoreBatch(&stubScorer{inputLen: 3, outWidth: 2, short: true}, [][]float32{{1, 2, 3}}, []int{1}); err == nil {
+		t.Fatal("short prediction vector accepted")
+	}
+}
 
 func TestEncodeDecodeBatchRoundTrip(t *testing.T) {
 	f := func(vals []float32, nRaw uint8) bool {

@@ -17,6 +17,14 @@ func TestAsyncIOConformance(t *testing.T) {
 	})
 }
 
+func TestAsyncIOBatchingConformance(t *testing.T) {
+	spstest.RunBatchingConformance(t, func() sps.Processor {
+		e := New()
+		e.AsyncIO = true
+		return e
+	})
+}
+
 func TestAsyncIOOverlapsBlockingCalls(t *testing.T) {
 	// With a 5ms blocking transform, the async operator must sustain
 	// far more than 200 events/s at one slot; the blocking operator

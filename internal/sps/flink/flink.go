@@ -119,6 +119,7 @@ func (e *Engine) Run(spec sps.JobSpec) (sps.Job, error) {
 func (j *job) Stop() error {
 	j.stopped.Do(func() { close(j.stopCh) })
 	j.wg.Wait()
+	j.spec.CloseBatching()
 	return j.errs.Get()
 }
 
@@ -254,14 +255,34 @@ func (j *job) chainedSlot(consumer *broker.Consumer, producer *broker.Producer) 
 			continue
 		}
 		stages.In.Add(int64(len(recs)))
-		for _, rec := range recs {
-			// The record still crosses the network-buffer segment
-			// boundary between the source and the chained task.
-			value := j.e.segment(rec.Value).reassemble()
-			if !j.e.AsyncIO {
-				score(value)
-				continue
+		if !j.e.AsyncIO {
+			// The synchronous task thread scores the poll's records
+			// through TransformMany: with batching enabled this slot's
+			// records coalesce (with other slots') into shared scorer
+			// invocations; without it the loop is sequential as before.
+			// Results return positionally, preserving emit order.
+			values := make([][]byte, len(recs))
+			for i, rec := range recs {
+				// The record still crosses the network-buffer segment
+				// boundary between the source and the chained task.
+				values[i] = j.e.segment(rec.Value).reassemble()
 			}
+			scoredAll, scoreErrs := j.spec.TransformMany(values)
+			for i := range values {
+				if err := scoreErrs[i]; err != nil {
+					j.errs.Set(fmt.Errorf("flink: scoring: %w", err))
+					stages.Dropped.Inc()
+					continue
+				}
+				emit(scoredAll[i])
+			}
+			// End of the poll's records: flush so low-rate events do
+			// not linger in the client buffer.
+			flush()
+			continue
+		}
+		for _, rec := range recs {
+			value := j.e.segment(rec.Value).reassemble()
 			inflight <- struct{}{}
 			pending.Add(1)
 			go func(v []byte) {
@@ -269,11 +290,6 @@ func (j *job) chainedSlot(consumer *broker.Consumer, producer *broker.Producer) 
 				defer func() { <-inflight }()
 				score(v)
 			}(value)
-		}
-		// End of the poll's records: flush so low-rate events do not
-		// linger in the client buffer.
-		if !j.e.AsyncIO {
-			flush()
 		}
 	}
 }

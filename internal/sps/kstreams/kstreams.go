@@ -90,6 +90,7 @@ func (e *Engine) Run(spec sps.JobSpec) (sps.Job, error) {
 func (j *job) Stop() error {
 	j.stopped.Do(func() { close(j.stopCh) })
 	j.wg.Wait()
+	j.spec.CloseBatching()
 	return j.errs.Get()
 }
 
@@ -135,14 +136,24 @@ func (j *job) streamThread(consumer *broker.Consumer, producer *broker.AsyncProd
 			continue
 		}
 		stages.In.Add(int64(len(recs)))
-		for _, rec := range recs {
-			scored, err := j.spec.Transform(rec.Value)
-			if err != nil {
+		// The whole poll goes through TransformMany: with batching
+		// enabled the records coalesce into shared scorer invocations
+		// (this thread's contribution to the cross-thread batch);
+		// without it the call degrades to the sequential per-record
+		// loop. Results come back positionally, so sink order is
+		// unchanged.
+		values := make([][]byte, len(recs))
+		for i, rec := range recs {
+			values[i] = rec.Value
+		}
+		scoredAll, scoreErrs := j.spec.TransformMany(values)
+		for i := range recs {
+			if err := scoreErrs[i]; err != nil {
 				j.errs.Set(fmt.Errorf("kafka-streams: transform: %w", err))
 				stages.Dropped.Inc()
 				continue
 			}
-			if err := producer.Send(scored); err != nil {
+			if err := producer.Send(scoredAll[i]); err != nil {
 				j.errs.Set(fmt.Errorf("kafka-streams: sink: %w", err))
 				stages.Dropped.Inc()
 				continue

@@ -117,6 +117,7 @@ func (e *Engine) Run(spec sps.JobSpec) (sps.Job, error) {
 func (j *job) Stop() error {
 	j.stopped.Do(func() { close(j.stopCh) })
 	j.sys.Wait()
+	j.spec.CloseBatching()
 	return j.errs.Get()
 }
 
@@ -164,9 +165,15 @@ func (j *job) inputActor(a *Actor, consumer *broker.Consumer, downstream *Actor)
 
 // scoringActor applies the transform (embedded) or delegates to an
 // external endpoint via the transform closure, then forwards downstream.
+// After each blocking receive it opportunistically drains whatever else
+// is already queued in its mailbox, so a batching-enabled job scores the
+// actor's backlog through one TransformMany round instead of record by
+// record; without batching the round degrades to the same sequential
+// loop as before, and message order is preserved either way.
 func (j *job) scoringActor(a *Actor, downstream *Actor) {
 	defer close(downstream.Inbox)
 	stages := j.spec.Stages()
+	values := make([][]byte, 0, j.e.MailboxDepth)
 	for {
 		value, ok, err := a.Recv()
 		if err != nil {
@@ -176,16 +183,39 @@ func (j *job) scoringActor(a *Actor, downstream *Actor) {
 		if !ok {
 			return
 		}
-		scored, err := j.spec.Transform(value)
-		if err != nil {
-			j.errs.Set(fmt.Errorf("ray: scoring actor: %w", err))
-			stages.Dropped.Inc()
-			continue
+		values = append(values[:0], value)
+	drain:
+		for len(values) < j.e.MailboxDepth {
+			select {
+			case ref, more := <-a.Inbox:
+				if !more {
+					// Channel closed mid-drain: score what we have;
+					// the next Recv observes the closure and returns.
+					break drain
+				}
+				v, err := a.store.Get(ref)
+				if err != nil {
+					j.errs.Set(fmt.Errorf("ray: scoring actor: %w", err))
+					continue
+				}
+				values = append(values, v)
+			default:
+				break drain // mailbox momentarily empty
+			}
 		}
-		if j.e.PickleHops {
-			scored = pickleCycle(scored)
+		scoredAll, scoreErrs := j.spec.TransformMany(values)
+		for i := range values {
+			if err := scoreErrs[i]; err != nil {
+				j.errs.Set(fmt.Errorf("ray: scoring actor: %w", err))
+				stages.Dropped.Inc()
+				continue
+			}
+			scored := scoredAll[i]
+			if j.e.PickleHops {
+				scored = pickleCycle(scored)
+			}
+			a.Send(downstream, scored)
 		}
-		a.Send(downstream, scored)
 	}
 }
 

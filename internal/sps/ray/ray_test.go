@@ -18,6 +18,10 @@ func TestFaultConformance(t *testing.T) {
 	spstest.RunFaultConformance(t, func() sps.Processor { return New() })
 }
 
+func TestBatchingConformance(t *testing.T) {
+	spstest.RunBatchingConformance(t, func() sps.Processor { return New() })
+}
+
 func TestRegistered(t *testing.T) {
 	p, err := sps.New("ray")
 	if err != nil {

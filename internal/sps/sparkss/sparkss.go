@@ -80,6 +80,7 @@ func (e *Engine) Run(spec sps.JobSpec) (sps.Job, error) {
 func (j *job) Stop() error {
 	j.stopped.Do(func() { close(j.stopCh) })
 	j.wg.Wait()
+	j.spec.CloseBatching()
 	return j.errs.Get()
 }
 
@@ -178,15 +179,24 @@ func (j *job) runStage(batch []broker.Record, executors int, dropped *telemetry.
 		wg.Add(1)
 		go func(e, lo, hi int) {
 			defer wg.Done()
+			// Each task hands its whole chunk to TransformMany: with
+			// batching enabled the chunk's records (and those of the
+			// other concurrent tasks) coalesce into shared scorer
+			// invocations; without it the records score sequentially
+			// as before.
+			values := make([][]byte, hi-lo)
+			for i, rec := range batch[lo:hi] {
+				values[i] = rec.Value
+			}
+			scoredAll, scoreErrs := j.spec.TransformMany(values)
 			out := make([]broker.Record, 0, hi-lo)
-			for _, rec := range batch[lo:hi] {
-				scored, err := j.spec.Transform(rec.Value)
-				if err != nil {
+			for i := range values {
+				if err := scoreErrs[i]; err != nil {
 					j.errs.Set(fmt.Errorf("spark-ss: task: %w", err))
 					dropped.Inc()
 					continue
 				}
-				out = append(out, broker.Record{Value: scored, Timestamp: time.Now()})
+				out = append(out, broker.Record{Value: scoredAll[i], Timestamp: time.Now()})
 			}
 			results[e] = out
 		}(e, lo, hi)

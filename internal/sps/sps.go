@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"crayfish/internal/batching"
 	"crayfish/internal/broker"
 	"crayfish/internal/resilience"
 	"crayfish/internal/telemetry"
@@ -34,6 +35,16 @@ import (
 // be safe for concurrent use; engines invoke the transform from mp
 // parallel operator instances.
 type Transform func(value []byte) ([]byte, error)
+
+// BatchTransform is the scoring operator's multi-record fast path: it
+// maps several record values to their scored values positionally in one
+// scorer invocation (out[i] belongs to values[i], and implementations
+// must return exactly len(values) outputs on success). It is driven by
+// the dynamic micro-batcher when JobSpec.Batching is set; an error
+// fails the whole invocation, after which the batcher isolates failures
+// per record through the single-record Transform. Implementations must
+// be safe for concurrent use.
+type BatchTransform func(values [][]byte) ([][]byte, error)
 
 // Parallelism configures operator scaling. Default is the paper's mp
 // parameter; the per-operator fields override it for operator-level
@@ -82,6 +93,14 @@ type JobSpec struct {
 	Group string
 	// Transform is the scoring logic.
 	Transform Transform
+	// BatchTransform, when set alongside Batching, is the multi-record
+	// scoring path the micro-batcher drives — one scorer invocation per
+	// coalesced batch instead of one per record.
+	BatchTransform BatchTransform
+	// Batching, when set, coalesces concurrent scoring-operator
+	// invocations into BatchTransform calls under the policy's size +
+	// linger triggers (see internal/batching). Requires BatchTransform.
+	Batching *batching.Policy
 	// Parallelism scales the operators.
 	Parallelism Parallelism
 	// PollMax bounds records fetched per source poll; 0 means an
@@ -96,6 +115,10 @@ type JobSpec struct {
 	// Metrics publishes live per-stage telemetry into the given
 	// registry; nil disables instrumentation at near-zero cost.
 	Metrics *telemetry.Registry
+
+	// batcher is built by Validate when Batching is set; engines close
+	// it via CloseBatching once their operators have drained.
+	batcher *batching.Batcher
 }
 
 // Validate checks the spec's required fields.
@@ -112,11 +135,29 @@ func (s *JobSpec) Validate() error {
 	if s.Group == "" {
 		s.Group = "crayfish-sps"
 	}
-	// Retry wraps inside instrumentation, so sps.score.calls and
-	// sps.score.latency_ns measure the whole (possibly retried) operator
-	// invocation the way an engine-side restart policy would.
+	// Wrap order, innermost out: user transform → retry → micro-batcher
+	// → instrumentation. Retry wraps inside everything so re-attempts
+	// stay per record; the batcher sits inside instrumentation so
+	// sps.score.calls stays per record and sps.score.latency_ns includes
+	// the coalescing wait — the operator latency the AIMD SLO governs.
 	if s.Retry != nil {
 		s.Transform = retryTransform(s.Transform, s.Retry, s.Metrics)
+	}
+	if s.Batching != nil {
+		if s.BatchTransform == nil {
+			return errors.New("sps: Batching policy set without a BatchTransform")
+		}
+		b, err := batching.New(batching.Config{
+			Policy:  *s.Batching,
+			Batch:   batching.BatchFunc(s.BatchTransform),
+			Single:  batching.SingleFunc(s.Transform),
+			Metrics: s.Metrics,
+		})
+		if err != nil {
+			return err
+		}
+		s.batcher = b
+		s.Transform = b.Do
 	}
 	if s.Metrics != nil {
 		s.Transform = instrumentTransform(s.Transform, s.Metrics)
@@ -168,6 +209,52 @@ func instrumentTransform(t Transform, reg *telemetry.Registry) Transform {
 		}
 		return out, err
 	}
+}
+
+// TransformMany runs the validated Transform over several record
+// values, returning outputs and errors positionally. With batching
+// enabled the calls fan out on goroutines so records polled together
+// coalesce into shared scorer invocations — this is how pull-based
+// engines (whose operator loop is otherwise sequential) expose the
+// batching opportunity. Without batching the records run sequentially;
+// spawning goroutines would buy nothing.
+func (s *JobSpec) TransformMany(values [][]byte) ([][]byte, []error) {
+	outs := make([][]byte, len(values))
+	errs := make([]error, len(values))
+	if s.batcher == nil || len(values) < 2 {
+		for i, v := range values {
+			outs[i], errs[i] = s.Transform(v)
+		}
+		return outs, errs
+	}
+	var wg sync.WaitGroup
+	for i, v := range values {
+		wg.Add(1)
+		go func(i int, v []byte) {
+			defer wg.Done()
+			outs[i], errs[i] = s.Transform(v)
+		}(i, v)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// CloseBatching flushes and joins the micro-batcher, if Validate built
+// one. Engines call it from Stop after their operator goroutines have
+// drained; it is nil-safe and idempotent.
+func (s *JobSpec) CloseBatching() {
+	if s.batcher != nil {
+		s.batcher.Close()
+	}
+}
+
+// BatchTarget reports the micro-batcher's current batch-size target, or
+// zero when batching is disabled.
+func (s *JobSpec) BatchTarget() int {
+	if s.batcher == nil {
+		return 0
+	}
+	return s.batcher.Target()
 }
 
 // StageCounters are the engine-side source/sink record counters every

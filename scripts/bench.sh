@@ -1,9 +1,12 @@
 #!/bin/sh
 # Inference microbenchmark harness (docs/PERFORMANCE.md): runs the
-# kernel-, plan-, and scorer-level benchmarks with -benchmem and writes
-# BENCH_inference.json. The scorer section pins the PR-level claim: the
-# planned (ONNX) embedded scorer's B/op must sit at least 10x below the
-# unplanned (SavedModel) baseline, at no ns/op cost.
+# kernel-, plan-, scorer-, and batching-level benchmarks with -benchmem
+# and writes BENCH_inference.json. The scorer section pins one PR-level
+# claim — the planned (ONNX) embedded scorer's B/op must sit at least
+# 10x below the unplanned (SavedModel) baseline, at no ns/op cost — and
+# the external batching pair pins another: coalescing 16 records into
+# one wire call must score at least 2x the records/sec of 16 single
+# calls (batched_vs_unbatched_ratio).
 #
 #   BENCHTIME   per-benchmark budget (default 1s; check.sh passes 50x)
 #   OUT         output path (default BENCH_inference.json)
@@ -14,8 +17,8 @@ BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_inference.json}"
 
 go test -run NONE -benchmem -benchtime "$BENCHTIME" \
-	-bench 'MatMulBlocked128|Conv2D$|ConvDirectVsWinograd|PlanForward|UnplannedForward|ScoreResNet|ScoreFFNN' \
-	./internal/tensor/ ./internal/model/ ./internal/serving/embedded/ \
+	-bench 'MatMulBlocked128|Conv2D$|ConvDirectVsWinograd|PlanForward|UnplannedForward|ScoreResNet|ScoreFFNN|ScoreBatchedVsUnbatched' \
+	./internal/tensor/ ./internal/model/ ./internal/serving/embedded/ ./internal/serving/external/ \
 	| awk -v benchtime="$BENCHTIME" '
 	/^pkg:/ { pkg = $2 }
 	/^Benchmark/ && /ns\/op/ {
@@ -29,12 +32,19 @@ go test -run NONE -benchmem -benchtime "$BENCHTIME" \
 		printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", pkg, name, $2, ns, bytes, allocs
 		if (name ~ /ScoreResNetPlanned/)   { pb = bytes; pns = ns }
 		if (name ~ /ScoreResNetUnplanned/) { ub = bytes; uns = ns }
+		if (name ~ /ScoreBatchedVsUnbatched\/unbatched$/) { sns = ns }
+		if (name ~ /ScoreBatchedVsUnbatched\/batched$/)   { bns = ns }
 	}
 	END {
 		printf "\n  ],\n"
 		if (pb > 0 && ub > 0) {
 			printf "  \"scorer_bytes_ratio\": %.2f,\n", ub / pb
 			printf "  \"scorer_speed_ratio\": %.3f,\n", uns / pns
+		}
+		# Both sub-benchmarks score 16 records/op, so the ns/op ratio is
+		# the records/sec gain of coalescing on the external path.
+		if (sns > 0 && bns > 0) {
+			printf "  \"batched_vs_unbatched_ratio\": %.2f,\n", sns / bns
 		}
 		printf "  \"benchtime\": \"%s\"\n}\n", benchtime
 	}

@@ -19,6 +19,12 @@ go run ./cmd/crayfishlint ./...
 # runs race-enabled and by name, before (and again within) the full
 # test sweep — a fast, attributable failure when the chaos layer breaks.
 go test -race -run TestFaultConformance -count=1 ./internal/sps/...
+# Micro-batching conformance (docs/PERFORMANCE.md "Dynamic batching"):
+# coalesced output must stay byte-identical to the unbatched path and
+# partial-batch faults must drop only their own records. The batcher is
+# all cross-goroutine coalescing, so this too runs race-enabled and by
+# name across every engine.
+go test -race -run 'TestBatchingConformance|TestAsyncIOBatchingConformance' -count=1 ./internal/sps/...
 # Zero-allocation regression suite (docs/PERFORMANCE.md): the Into
 # kernels, the buffer arena, and compiled plans must stay allocation-free
 # in steady state. Run race-enabled and by name for an attributable

@@ -30,6 +30,7 @@ func TestRunTelemetryContract(t *testing.T) {
 		Serving:    crayfish.ServingConfig{Mode: crayfish.Embedded, Tool: "onnx"},
 		Model:      crayfish.ModelSpec{Name: "ffnn"},
 		Partitions: 4,
+		Batching:   &crayfish.BatchingPolicy{MaxBatch: 4},
 		Telemetry:  reg,
 	}
 	res, err := crayfish.Run(cfg)
@@ -75,10 +76,15 @@ func TestRunTelemetryContract(t *testing.T) {
 	// no failures, no duplicate deliveries, and no serving daemon; a
 	// clean recovery has no abandoned records, and whether the *client*
 	// retried (vs the job-level policy) depends on crash timing.
+	// The batching run moves sps.batch.size and sps.batch.target, but
+	// which flush trigger fires (size vs linger) depends on arrival
+	// timing, so either counter alone may stay zero.
 	zeroOK := map[string]bool{
 		"sps.score.errors":              true,
 		"sps.score.dropped":             true,
 		"sps.score.retries":             true,
+		"sps.batch.linger_flush":        true,
+		"sps.batch.size_flush":          true,
 		"serving.score.errors":          true,
 		"consumer.duplicates":           true,
 		"resilience.retries.tf-serving": true,
@@ -150,11 +156,14 @@ func TestRunTelemetryContract(t *testing.T) {
 		t.Errorf("recovery run books: lost=%d dropped=%d, want 0 and 5", recRes.Lost, recRes.Dropped)
 	}
 
-	// Consistency across stages: what the scorer saw is what the SPS
-	// transform invoked, and every consumed sample went through scoring.
-	if snap.Counters["sps.score.calls"] != snap.Counters["serving.score.calls"] {
-		t.Errorf("sps.score.calls %d != serving.score.calls %d",
-			snap.Counters["sps.score.calls"], snap.Counters["serving.score.calls"])
+	// Consistency across stages: with the micro-batcher on, every
+	// record lands in exactly one coalesced batch (histogram sum) and
+	// the scorer runs once per flush, never more often than per record.
+	if got, want := snap.Histograms["sps.batch.size"].Sum, snap.Counters["sps.score.calls"]; got != want {
+		t.Errorf("sps.batch.size sum %d != sps.score.calls %d", got, want)
+	}
+	if got, want := snap.Counters["serving.score.calls"], snap.Histograms["sps.batch.size"].Count; got != want {
+		t.Errorf("serving.score.calls %d != %d batch flushes", got, want)
 	}
 	if got, want := snap.Counters["consumer.samples"], int64(res.Metrics.Consumed); got != want {
 		t.Errorf("consumer.samples %d != Metrics.Consumed %d", got, want)
