@@ -4,6 +4,7 @@ import (
 	"os"
 	"strconv"
 	"testing"
+	"time"
 
 	"crayfish"
 )
@@ -127,3 +128,48 @@ func BenchmarkAblationAsyncIO(b *testing.B) { runExperiment(b, "ablation-asyncio
 // BenchmarkAblationDynamicBatching sweeps the scoring operator's
 // micro-batch dimension: fixed targets vs the SLO-driven AIMD controller.
 func BenchmarkAblationDynamicBatching(b *testing.B) { runExperiment(b, "ablation-dynbatch") }
+
+// BenchmarkScenarioSuite runs the four MLPerf-style scenarios across
+// engine × serving tool plus the offered-load sweep (docs/SCENARIOS.md).
+func BenchmarkScenarioSuite(b *testing.B) { runExperiment(b, "scenarios") }
+
+// BenchmarkServerCapacitySweep measures the server scenario's capacity:
+// the highest offered Poisson rate whose p99 stays under the bound on
+// flink/onnx. The knee is reported as capacity_rps and lands in
+// BENCH_inference.json as server_capacity_rps, so later speedups move a
+// measured capacity number.
+func BenchmarkServerCapacitySweep(b *testing.B) {
+	scale := benchScale()
+	d := time.Duration(2 * float64(time.Second) * scale)
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	cfg := crayfish.Config{
+		Workload: crayfish.Workload{
+			InputShape: []int{28, 28},
+			BatchSize:  1,
+			Duration:   d,
+			Seed:       1,
+		},
+		Engine:     "flink",
+		Serving:    crayfish.ServingConfig{Mode: crayfish.Embedded, Tool: "onnx"},
+		Model:      crayfish.ModelSpec{Name: "ffnn", Seed: 1},
+		Partitions: 4,
+	}
+	sc := crayfish.Scenario{Kind: crayfish.ScenarioServer, Seed: 7, LatencyBound: 250 * time.Millisecond}
+	rates := []float64{250, 500, 1000, 2000, 4000, 8000, 16000}
+	var capacity float64
+	for i := 0; i < b.N; i++ {
+		c, points, err := crayfish.FindServerCapacity(cfg, sc, rates)
+		if err != nil {
+			b.Fatal(err)
+		}
+		capacity = c
+		if i == 0 {
+			for _, pt := range points {
+				b.Logf("offered %.0f ev/s: %s", pt.Rate, pt.Result.Verdict)
+			}
+		}
+	}
+	b.ReportMetric(capacity, "capacity_rps")
+}

@@ -43,6 +43,7 @@ import (
 	"crayfish/internal/experiments"
 	"crayfish/internal/faults"
 	"crayfish/internal/gpu"
+	"crayfish/internal/loadgen"
 	"crayfish/internal/modelfmt"
 	"crayfish/internal/netsim"
 	"crayfish/internal/serving/external"
@@ -111,6 +112,60 @@ var LAN = netsim.LAN
 // Run executes one experiment on a private in-process broker.
 func Run(cfg Config) (*Result, error) {
 	return (&Runner{}).Run(cfg)
+}
+
+// Load-generation types (docs/SCENARIOS.md): a LoadPolicy declaratively
+// selects the arrival process driving the producer (Workload.Load), and
+// a Scenario wraps an arrival discipline with the MLPerf-style
+// constraint its run is judged against.
+type (
+	// LoadPolicy describes a deterministic arrival process: constant,
+	// Poisson, trace replay, phased composition, or saturation. Equal
+	// policies (same seed) generate byte-identical schedules.
+	LoadPolicy = loadgen.Policy
+	// LoadPhase is one segment of a phased (diurnal/burst) composition.
+	LoadPhase = loadgen.Phase
+	// Scenario is one MLPerf-style load scenario with its constraint.
+	Scenario = loadgen.Scenario
+	// Verdict is a scenario's structured pass/fail outcome.
+	Verdict = loadgen.Verdict
+	// CapacityPoint is one step of a server capacity sweep.
+	CapacityPoint = core.CapacityPoint
+)
+
+// Scenario kinds (the MLPerf Inference four, docs/SCENARIOS.md).
+const (
+	// ScenarioSingleStream issues one query at a time and books p90.
+	ScenarioSingleStream = loadgen.SingleStream
+	// ScenarioMultiStream keeps N queries outstanding and books p99.
+	ScenarioMultiStream = loadgen.MultiStream
+	// ScenarioServer offers Poisson arrivals under a p99 bound.
+	ScenarioServer = loadgen.Server
+	// ScenarioOffline issues everything unpaced and books throughput.
+	ScenarioOffline = loadgen.Offline
+)
+
+// Arrival processes for Workload.Load.
+const (
+	LoadConstant = loadgen.ProcessConstant
+	LoadPoisson  = loadgen.ProcessPoisson
+	LoadTrace    = loadgen.ProcessTrace
+	LoadPhased   = loadgen.ProcessPhased
+	LoadSaturate = loadgen.ProcessSaturate
+)
+
+// RunScenario executes one experiment under an MLPerf-style scenario on
+// a private in-process broker; the verdict lands in Result.Verdict.
+func RunScenario(cfg Config, sc Scenario) (*Result, error) {
+	return (&Runner{}).RunScenario(cfg, sc)
+}
+
+// FindServerCapacity steps the server scenario's offered Poisson rate
+// through rates and returns the highest rate whose run still meets the
+// tail-latency bound (the knee of the latency-vs-load curve), plus every
+// step's result.
+func FindServerCapacity(cfg Config, sc Scenario, rates []float64) (float64, []CapacityPoint, error) {
+	return (&Runner{}).FindServerCapacity(cfg, sc, rates)
 }
 
 // Fault-injection types (docs/FAULTS.md): a FaultPlan is a reproducible

@@ -20,12 +20,16 @@ import (
 // The micro-batcher joins because its linger deadline and AIMD latency
 // window are part of the measured operator latency: both must run off
 // the injectable batching.Clock so trigger tests are deterministic.
+// The load generator joins because its arrival schedules are promised to
+// be byte-identical per seed and its pacer is the instrument that stamps
+// the offered load: both must run off the injectable loadgen.Clock.
 var clockRestricted = []string{
 	"internal/broker",
 	"internal/netsim",
 	"internal/gpu",
 	"internal/faults",
 	"internal/batching",
+	"internal/loadgen",
 }
 
 // clockBanned is the set of time-package functions that must not be
@@ -44,7 +48,7 @@ var clockBanned = map[string]bool{
 func NewClockDiscipline() *Analyzer {
 	a := &Analyzer{
 		Name: "clockdiscipline",
-		Doc:  "timestamp-path packages (broker, netsim, gpu, faults, batching) must route time through the injected clock / network model",
+		Doc:  "timestamp-path packages (broker, netsim, gpu, faults, batching, loadgen) must route time through the injected clock / network model",
 	}
 	a.Run = func(pass *Pass) {
 		if !clockRestrictedPkg(pass.Pkg.ModRel) {

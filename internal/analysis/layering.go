@@ -20,12 +20,13 @@ var baseRel = map[string]bool{
 	"internal/gpu":        true,
 	"internal/resilience": true,
 	"internal/window":     true,
+	"internal/loadgen":    true,
 }
 
 // NewLayering enforces the import DAG the architecture docs promise:
 //
-//   - base packages (tensor, netsim, telemetry, gpu, resilience, window)
-//     import only the standard library;
+//   - base packages (tensor, netsim, telemetry, gpu, resilience, window,
+//     loadgen) import only the standard library;
 //   - internal/core (the experiment driver) must not import any SPS
 //     engine package (internal/sps/<engine>) — engines are selected at
 //     the API layer via the sps registry, so the driver stays

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"crayfish/internal/batching"
+	"crayfish/internal/loadgen"
 	"crayfish/internal/netsim"
 	"crayfish/internal/telemetry"
 )
@@ -18,15 +19,25 @@ type Workload struct {
 	// InputRate is ir: constant event generation rate in events/s.
 	// Zero means saturation: the producer emits as fast as it can,
 	// which is how sustainable-throughput probes drive the SUT.
+	// Legacy alias: equivalent to Load = &loadgen.Constant(ir) (or
+	// Saturate when zero); see LoadPolicy.
 	InputRate float64
 	// Bursty enables the periodic-burst generator (§4.1): BurstRate for
 	// BurstDuration (bd), then BaseRate until TimeBetweenBursts (tbb)
-	// elapses, repeating.
+	// elapses, repeating. Legacy alias for a two-phase Load policy; see
+	// LoadPolicy.
 	Bursty            bool
 	BurstDuration     time.Duration
 	TimeBetweenBursts time.Duration
 	BurstRate         float64
 	BaseRate          float64
+	// Load, when set, selects the arrival process declaratively
+	// (internal/loadgen): constant, Poisson, trace replay, phased
+	// composition, or saturation. Nil derives the process from the
+	// legacy knobs above — the two spellings are exact aliases and
+	// produce byte-identical schedules (docs/SCENARIOS.md). Setting
+	// both Load and a legacy pacing knob is a validation error.
+	Load *loadgen.Policy
 	// Duration bounds the experiment (the paper's 15-minute timeout,
 	// scaled down).
 	Duration time.Duration
@@ -76,7 +87,42 @@ func (w *Workload) Validate() error {
 			return fmt.Errorf("core: bursty workload needs burst and base rates")
 		}
 	}
+	if w.Load != nil {
+		if w.InputRate != 0 || w.Bursty {
+			return fmt.Errorf("core: workload sets both a Load policy and legacy pacing knobs (InputRate/Bursty); use one spelling")
+		}
+		if err := w.Load.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// LoadPolicy canonicalizes the workload's pacing into a loadgen.Policy.
+// An explicit Load wins; otherwise the legacy knobs map exactly:
+// Bursty → a two-phase cycle (BurstRate for BurstDuration, then BaseRate
+// for the remainder of TimeBetweenBursts), InputRate > 0 → constant,
+// InputRate == 0 → saturation. Legacy configs therefore produce
+// byte-identical schedules to their Load-policy equivalents, pinned by
+// TestLoadPolicyAliases.
+func (w *Workload) LoadPolicy() loadgen.Policy {
+	if w.Load != nil {
+		return *w.Load
+	}
+	if w.Bursty {
+		if w.TimeBetweenBursts <= w.BurstDuration {
+			// Degenerate legacy cycle: the burst never ends.
+			return loadgen.Constant(w.BurstRate)
+		}
+		return loadgen.Phased(w.Seed,
+			loadgen.Phase{Duration: w.BurstDuration, Rate: w.BurstRate},
+			loadgen.Phase{Duration: w.TimeBetweenBursts - w.BurstDuration, Rate: w.BaseRate},
+		)
+	}
+	if w.InputRate > 0 {
+		return loadgen.Constant(w.InputRate)
+	}
+	return loadgen.Saturate()
 }
 
 // Config describes one Crayfish experiment: the workload, the system
@@ -117,6 +163,12 @@ type Config struct {
 	// See docs/OBSERVABILITY.md for the metric contract. Nil keeps
 	// instrumentation disabled at near-zero cost.
 	Telemetry *telemetry.Registry `json:"-"`
+
+	// closedStreams, when positive, caps the outstanding (issued but
+	// not yet completed) events: the runner gates the producer on
+	// consumer completions. Set by Runner.RunScenario for the
+	// single-/multi-stream scenarios.
+	closedStreams int
 }
 
 // ServingMode distinguishes embedded from external serving.

@@ -39,6 +39,9 @@ type OutputConsumer struct {
 	samples []Sample
 	decoded map[int64]bool
 	dupes   int
+	// changed is closed and replaced whenever a new sample lands, so
+	// WaitForCount blocks without polling.
+	changed chan struct{}
 }
 
 // NewOutputConsumer builds a consumer over all partitions of topic.
@@ -50,7 +53,7 @@ func NewOutputConsumer(t broker.Transport, topic string, codec BatchCodec) (*Out
 	if err != nil {
 		return nil, err
 	}
-	return &OutputConsumer{codec: codec, consumer: c, decoded: make(map[int64]bool)}, nil
+	return &OutputConsumer{codec: codec, consumer: c, decoded: make(map[int64]bool), changed: make(chan struct{})}, nil
 }
 
 // Run polls the output topic until stop closes, then drains whatever is
@@ -122,6 +125,8 @@ func (oc *OutputConsumer) record(b *DataBatch, end time.Time) {
 	})
 	oc.mSamples.Inc()
 	oc.mE2E.Record(int64(lat))
+	close(oc.changed)
+	oc.changed = make(chan struct{})
 }
 
 // Samples returns the collected measurements in arrival order.
@@ -129,6 +134,37 @@ func (oc *OutputConsumer) Samples() []Sample {
 	oc.mu.Lock()
 	defer oc.mu.Unlock()
 	return append([]Sample(nil), oc.samples...)
+}
+
+// SampleCount returns how many distinct samples were recorded so far.
+func (oc *OutputConsumer) SampleCount() int {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return len(oc.samples)
+}
+
+// WaitForCount blocks until at least n samples were recorded or the
+// deadline passes, reporting whether the count was reached. It backs the
+// closed-loop scenarios' issue-on-completion gate.
+func (oc *OutputConsumer) WaitForCount(n int, deadline time.Time) bool {
+	for {
+		oc.mu.Lock()
+		have := len(oc.samples)
+		ch := oc.changed
+		oc.mu.Unlock()
+		if have >= n {
+			return true
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return false
+		}
+		select {
+		case <-ch:
+		case <-time.After(wait):
+			return false
+		}
+	}
 }
 
 // Duplicates reports how many duplicate batch IDs were observed.

@@ -14,6 +14,7 @@ type LatencyStats struct {
 	Min    time.Duration
 	Max    time.Duration
 	P50    time.Duration
+	P90    time.Duration
 	P95    time.Duration
 	P99    time.Duration
 }
@@ -102,6 +103,7 @@ func latencyStats(samples []Sample) LatencyStats {
 		Min:    lat[0],
 		Max:    lat[len(lat)-1],
 		P50:    pick(0.50),
+		P90:    pick(0.90),
 		P95:    pick(0.95),
 		P99:    pick(0.99),
 	}

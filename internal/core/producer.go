@@ -7,13 +7,17 @@ import (
 	"time"
 
 	"crayfish/internal/broker"
+	"crayfish/internal/loadgen"
 	"crayfish/internal/telemetry"
 )
 
 // InputProducer is the Crayfish input workload producer (§3.1): it
-// generates synthetic CrayfishDataBatch events at a configured rate and
-// writes them to the Kafka input topic, recording the start timestamp
-// before the write (§3.3 step 1).
+// generates synthetic CrayfishDataBatch events and writes them to the
+// Kafka input topic, recording the start timestamp before the write
+// (§3.3 step 1). Pacing is delegated to the workload's arrival policy
+// (Workload.LoadPolicy → internal/loadgen): the producer walks the
+// deterministic arrival schedule and a loadgen.Pacer turns offsets into
+// waits on the clock.
 type InputProducer struct {
 	w       Workload
 	codec   BatchCodec
@@ -21,8 +25,19 @@ type InputProducer struct {
 	dataset *Dataset
 
 	// Metrics, when set before Run, publishes live producer telemetry
-	// (producer.*; see docs/OBSERVABILITY.md).
+	// (producer.*, loadgen.*; see docs/OBSERVABILITY.md).
 	Metrics *telemetry.Registry
+
+	// Gate, when set, implements closed-loop issue control (the
+	// single-/multi-stream scenarios): before generating event #issued
+	// the producer flushes its pending batch and calls Gate, which
+	// blocks until the outstanding-query window opens. A false return
+	// stops production gracefully.
+	Gate func(issued int) bool
+
+	// Clock overrides the pacer's clock; the zero value is the wall
+	// clock. Tests inject a virtual clock here.
+	Clock loadgen.Clock
 
 	mu       sync.Mutex
 	produced int
@@ -62,13 +77,14 @@ func (p *InputProducer) Produced() int {
 }
 
 // Run generates events until the workload duration elapses, MaxEvents is
-// reached, or stop closes. It returns the number of events produced.
+// reached, the arrival schedule ends (trace replay), or stop closes. It
+// returns the number of events produced.
 //
-// Rate control: with InputRate > 0 events are paced against the wall
-// clock (an open-loop generator that does not slow down when the SUT
-// lags); with InputRate == 0 the producer saturates. With Bursty set, the
-// rate alternates between BurstRate (for BurstDuration) and BaseRate
-// (for the remainder of each TimeBetweenBursts window).
+// Rate control: the workload's arrival policy (Workload.LoadPolicy)
+// yields a deterministic arrival schedule; the pacer holds the producer
+// to it open-loop (it does not slow down when the SUT lags — a stalled
+// producer catches up, owing at most loadgen.MaxScheduleDebt). A
+// saturating policy emits as fast as it can.
 func (p *InputProducer) Run(stop <-chan struct{}) (int, error) {
 	gen := newDataGenerator(p.w)
 	gen.dataset = p.dataset
@@ -83,6 +99,14 @@ func (p *InputProducer) Run(stop <-chan struct{}) (int, error) {
 	mBytes := p.Metrics.Counter("producer.bytes")
 	mBatches := p.Metrics.Counter("producer.batches")
 	mLag := p.Metrics.Gauge("producer.lag_ns")
+	mOffered := p.Metrics.Gauge("loadgen.offered_rps")
+	mSchedLag := p.Metrics.Gauge("loadgen.schedule_lag_ns")
+
+	sched, err := p.w.LoadPolicy().Schedule()
+	if err != nil {
+		return 0, fmt.Errorf("core: producer: %w", err)
+	}
+	pacer := loadgen.NewPacer(sched, p.Clock)
 	lastFlush := time.Now()
 	pending := make([]broker.Record, 0, batchCap)
 	flush := func() error {
@@ -107,14 +131,8 @@ func (p *InputProducer) Run(stop <-chan struct{}) (int, error) {
 		return nil
 	}
 
-	start := time.Now()
+	start := pacer.Start()
 	deadline := start.Add(p.w.Duration)
-	// next is the schedule cursor: each emitted event advances it by the
-	// current inter-arrival gap. Incremental advancement (rather than
-	// id/rate) keeps bursty schedules correct across rate switches and
-	// preserves open-loop semantics: a lagging producer catches up
-	// instead of silently slowing the offered rate.
-	next := start
 	var id int64
 	for {
 		select {
@@ -123,8 +141,7 @@ func (p *InputProducer) Run(stop <-chan struct{}) (int, error) {
 			return p.Produced(), err
 		default:
 		}
-		now := time.Now()
-		if now.After(deadline) {
+		if time.Now().After(deadline) {
 			err := flush()
 			return p.Produced(), err
 		}
@@ -132,37 +149,40 @@ func (p *InputProducer) Run(stop <-chan struct{}) (int, error) {
 			err := flush()
 			return p.Produced(), err
 		}
-		rate := p.currentRate(now.Sub(start))
-		if rate > 0 {
-			// When the next event is not yet due, flush what we
-			// have (linger.ms = 0) before waiting.
-			if wait := time.Until(next); wait > 0 {
-				if err := flush(); err != nil {
-					return p.Produced(), err
-				}
-				select {
-				case <-stop:
-					return p.Produced(), nil
-				case <-time.After(wait):
-				}
+		if p.Gate != nil {
+			// Closed-loop issue control: everything pending must reach
+			// the broker before we wait, or the completions the gate
+			// waits for could never happen.
+			if err := flush(); err != nil {
+				return p.Produced(), err
 			}
-			next = next.Add(time.Duration(float64(time.Second) / rate))
-			// After an overload stall the cursor may lag far
-			// behind the wall clock; cap the debt at one second of
-			// catch-up so a pathological stall does not turn into
-			// an unbounded flood.
-			lag := time.Since(next)
-			if lag > time.Second {
-				next = time.Now().Add(-time.Second)
+			if !p.Gate(int(id)) {
+				return p.Produced(), nil
 			}
-			// How far the open-loop generator trails its schedule —
-			// nonzero means the producer (not the SUT) is the
-			// bottleneck at this offered rate.
-			if lag < 0 {
-				lag = 0
-			}
-			mLag.Set(int64(lag))
 		}
+		wait, lag, rate, ok := pacer.Tick()
+		if !ok {
+			// Trace replay exhausted its arrivals.
+			err := flush()
+			return p.Produced(), err
+		}
+		if wait > 0 {
+			// When the next event is not yet due, flush what we have
+			// (linger.ms = 0) before waiting.
+			if err := flush(); err != nil {
+				return p.Produced(), err
+			}
+			if !pacer.Sleep(wait, stop) {
+				return p.Produced(), nil
+			}
+		}
+		// How far the open-loop generator trails its schedule — nonzero
+		// means the producer (not the SUT) is the bottleneck at this
+		// offered rate. producer.lag_ns is the legacy name for the same
+		// level loadgen.schedule_lag_ns reports.
+		mLag.Set(int64(lag))
+		mSchedLag.Set(int64(lag))
+		mOffered.Set(int64(rate))
 		batch := gen.next(id)
 		value, err := p.codec.Marshal(batch)
 		if err != nil {
@@ -176,18 +196,6 @@ func (p *InputProducer) Run(stop <-chan struct{}) (int, error) {
 		}
 		id++
 	}
-}
-
-// currentRate resolves the instantaneous target rate at elapsed time.
-func (p *InputProducer) currentRate(elapsed time.Duration) float64 {
-	if !p.w.Bursty {
-		return p.w.InputRate
-	}
-	phase := elapsed % p.w.TimeBetweenBursts
-	if phase < p.w.BurstDuration {
-		return p.w.BurstRate
-	}
-	return p.w.BaseRate
 }
 
 // dataGenerator produces deterministic tensor-like synthetic data points

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"crayfish/internal/broker"
+	"crayfish/internal/loadgen"
 )
 
 func producerHarness(t *testing.T) broker.Transport {
@@ -145,16 +147,95 @@ func TestProducerBurstRateSchedule(t *testing.T) {
 	if err := w.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	p := &InputProducer{w: w}
-	if got := p.currentRate(5 * time.Millisecond); got != 1000 {
+	s, err := w.LoadPolicy().Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rateAt := func(want time.Duration) float64 {
+		// Walk a fresh cursor until the schedule passes the offset.
+		for {
+			off, rate, ok := s.Next()
+			if !ok {
+				t.Fatalf("schedule ended before %v", want)
+			}
+			if off >= want {
+				return rate
+			}
+		}
+	}
+	if got := rateAt(5 * time.Millisecond); got != 1000 {
 		t.Fatalf("rate in burst = %v", got)
 	}
-	if got := p.currentRate(50 * time.Millisecond); got != 100 {
+	if got := rateAt(40 * time.Millisecond); got != 100 {
 		t.Fatalf("rate between bursts = %v", got)
 	}
 	// Second cycle: burst again.
-	if got := p.currentRate(110 * time.Millisecond); got != 1000 {
+	if got := rateAt(101 * time.Millisecond); got != 1000 {
 		t.Fatalf("rate in second burst = %v", got)
+	}
+}
+
+// TestLoadPolicyAliases is the legacy-knob regression table: every
+// legacy pacing spelling (open-loop constant, saturation, periodic
+// burst) must produce a byte-identical arrival schedule to its explicit
+// Load-policy equivalent (docs/SCENARIOS.md "Legacy knobs").
+func TestLoadPolicyAliases(t *testing.T) {
+	scheduleBytes := func(t *testing.T, w Workload) string {
+		t.Helper()
+		if err := w.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := loadgen.WriteSchedule(&buf, w.LoadPolicy(), 256); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	shape := []int{4}
+	burstPolicy := loadgen.Phased(3,
+		loadgen.Phase{Duration: 20 * time.Millisecond, Rate: 2000},
+		loadgen.Phase{Duration: 80 * time.Millisecond, Rate: 150},
+	)
+	constPolicy := loadgen.Constant(400)
+	satPolicy := loadgen.Saturate()
+	cases := []struct {
+		name   string
+		legacy Workload
+		load   Workload
+	}{
+		{
+			name:   "open-loop constant",
+			legacy: Workload{InputShape: shape, InputRate: 400},
+			load:   Workload{InputShape: shape, Load: &constPolicy},
+		},
+		{
+			name:   "saturation",
+			legacy: Workload{InputShape: shape},
+			load:   Workload{InputShape: shape, Load: &satPolicy},
+		},
+		{
+			name: "periodic burst",
+			legacy: Workload{
+				InputShape:        shape,
+				Bursty:            true,
+				BurstDuration:     20 * time.Millisecond,
+				TimeBetweenBursts: 100 * time.Millisecond,
+				BurstRate:         2000,
+				BaseRate:          150,
+				Seed:              3,
+			},
+			load: Workload{InputShape: shape, Seed: 3, Load: &burstPolicy},
+		},
+	}
+	for _, c := range cases {
+		if got, want := scheduleBytes(t, c.legacy), scheduleBytes(t, c.load); got != want {
+			t.Errorf("%s: legacy and Load schedules differ:\nlegacy %q\nload   %q", c.name, got, want)
+		}
+	}
+	// Setting both spellings at once must not validate.
+	both := Workload{InputShape: shape, InputRate: 400, Load: &constPolicy}
+	if err := both.Validate(); err == nil {
+		t.Error("workload with both Load and InputRate validated")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"crayfish/internal/broker"
+	"crayfish/internal/loadgen"
 	"crayfish/internal/serving"
 	"crayfish/internal/sps"
 	"crayfish/internal/telemetry"
@@ -45,6 +46,9 @@ type Result struct {
 	// configured with a telemetry registry (Config.Telemetry), nil
 	// otherwise. See docs/OBSERVABILITY.md for the metric contract.
 	Telemetry *telemetry.Snapshot
+	// Verdict is the scenario's structured pass/fail outcome when the
+	// run was driven by RunScenario; nil for plain runs.
+	Verdict *loadgen.Verdict
 }
 
 // Runner executes experiments. The zero value runs on a private
@@ -173,6 +177,18 @@ func (r *Runner) runWithScorer(cfg Config, scorer serving.Scorer) (*Result, erro
 		return nil, err
 	}
 	producer.Metrics = cfg.Telemetry
+	if cfg.closedStreams > 0 {
+		// Closed-loop issue control (single-/multi-stream scenarios):
+		// event #issued may only go out once all but the window's worth
+		// of its predecessors completed. The gate shares the run
+		// deadline, so a stalled SUT ends production instead of
+		// deadlocking it.
+		streams := cfg.closedStreams
+		gateDeadline := time.Now().Add(cfg.Workload.Duration)
+		producer.Gate = func(issued int) bool {
+			return oc.WaitForCount(issued+1-streams, gateDeadline)
+		}
+	}
 
 	runStart := time.Now()
 	produced, prodErr := producer.Run(nil)

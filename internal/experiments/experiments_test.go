@@ -181,9 +181,44 @@ func TestRecoveryTiny(t *testing.T) {
 	}
 }
 
+func TestScenariosTiny(t *testing.T) {
+	r, err := ScenarioSuite(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 scenarios × 4 engine/serving pairs + 4 sweep steps.
+	if len(r.Rows) != 20 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	kinds := map[string]int{}
+	for _, row := range r.Rows {
+		kinds[row[0]]++
+		if row[6] != "PASS" && row[6] != "FAIL" {
+			t.Fatalf("verdict cell %q: %v", row[6], row)
+		}
+	}
+	for _, k := range []string{"single-stream", "multi-stream", "server", "offline"} {
+		if kinds[k] != 4 {
+			t.Fatalf("scenario %s has %d rows, want 4", k, kinds[k])
+		}
+	}
+	if kinds["server sweep"] != 4 {
+		t.Fatalf("sweep rows %d, want 4", kinds["server sweep"])
+	}
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "server capacity") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("report missing the capacity note")
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	defs := All()
-	if len(defs) != 21 {
+	if len(defs) != 22 {
 		t.Fatalf("registry has %d experiments", len(defs))
 	}
 	seen := map[string]bool{}

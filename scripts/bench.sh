@@ -6,7 +6,10 @@
 # 10x below the unplanned (SavedModel) baseline, at no ns/op cost — and
 # the external batching pair pins another: coalescing 16 records into
 # one wire call must score at least 2x the records/sec of 16 single
-# calls (batched_vs_unbatched_ratio).
+# calls (batched_vs_unbatched_ratio). The scenario sweep books a
+# capacity claim: server_capacity_rps is the highest offered Poisson
+# rate whose p99 stays under the server scenario's bound
+# (docs/SCENARIOS.md), so later speedups move a measured capacity.
 #
 #   BENCHTIME   per-benchmark budget (default 1s; check.sh passes 50x)
 #   OUT         output path (default BENCH_inference.json)
@@ -17,8 +20,8 @@ BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_inference.json}"
 
 go test -run NONE -benchmem -benchtime "$BENCHTIME" \
-	-bench 'MatMulBlocked128|Conv2D$|ConvDirectVsWinograd|PlanForward|UnplannedForward|ScoreResNet|ScoreFFNN|ScoreBatchedVsUnbatched' \
-	./internal/tensor/ ./internal/model/ ./internal/serving/embedded/ ./internal/serving/external/ \
+	-bench 'MatMulBlocked128|Conv2D$|ConvDirectVsWinograd|PlanForward|UnplannedForward|ScoreResNet|ScoreFFNN|ScoreBatchedVsUnbatched|ServerCapacitySweep$' \
+	./internal/tensor/ ./internal/model/ ./internal/serving/embedded/ ./internal/serving/external/ . \
 	| awk -v benchtime="$BENCHTIME" '
 	/^pkg:/ { pkg = $2 }
 	/^Benchmark/ && /ns\/op/ {
@@ -27,6 +30,7 @@ go test -run NONE -benchmem -benchtime "$BENCHTIME" \
 		for (i = 4; i <= NF; i++) {
 			if ($i == "B/op") bytes = $(i - 1)
 			if ($i == "allocs/op") allocs = $(i - 1)
+			if ($i == "capacity_rps") cap = $(i - 1)
 		}
 		if (n++) printf ",\n"
 		printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", pkg, name, $2, ns, bytes, allocs
@@ -45,6 +49,11 @@ go test -run NONE -benchmem -benchtime "$BENCHTIME" \
 		# the records/sec gain of coalescing on the external path.
 		if (sns > 0 && bns > 0) {
 			printf "  \"batched_vs_unbatched_ratio\": %.2f,\n", sns / bns
+		}
+		# The server scenario capacity (highest offered Poisson rate
+		# meeting the p99 bound; docs/SCENARIOS.md).
+		if (cap > 0) {
+			printf "  \"server_capacity_rps\": %s,\n", cap
 		}
 		printf "  \"benchtime\": \"%s\"\n}\n", benchtime
 	}

@@ -33,6 +33,15 @@ go test -race -run 'TestBatchingConformance|TestAsyncIOBatchingConformance' -cou
 go test -race -count=1 \
 	-run 'TestIntoKernelsMatchAndDontAllocate|TestWinogradApplyInto|TestMatMulParallelInto|TestArena|TestPlanForwardAllocs|TestPlanConcurrent' \
 	./internal/tensor/ ./internal/model/
+# Load-generator conformance (docs/SCENARIOS.md): arrival schedules must
+# replay byte-identically per seed, scenario verdict logic must match the
+# documented constraints, and the legacy open/closed/burst knobs must
+# alias exactly onto their Load-policy equivalents. The producer/pacer
+# path crosses goroutines, so this runs race-enabled and by name.
+go test -race -count=1 \
+	-run 'TestScheduleDeterminism|TestScheduleGolden|TestScenarioVerdicts|TestPacer' \
+	./internal/loadgen/
+go test -race -count=1 -run 'TestLoadPolicyAliases|TestRunScenario' ./internal/core/
 go test -race ./...
 CRAYFISH_BENCH_SCALE=0.05 go test -run NONE -bench . -benchtime=1x .
 # Inference microbenchmarks at smoke scale: validates the harness and the

@@ -16,7 +16,7 @@ def parse_blocks(path):
     blocks = {}
     # Each report starts with "<ID> — <title>" and ends at "(completed in".
     pattern = re.compile(
-        r"^((?:Table|Figure|Ablation) [A-Z0-9]+) — .*?\n(completed in [^)]*\))?",
+        r"^((?:Table|Figure|Ablation|Scenario) [A-Z0-9]+) — .*?\n(completed in [^)]*\))?",
         re.M,
     )
     parts = re.split(r"\n\(completed in ([^)]*)\)\n", text)
@@ -24,7 +24,7 @@ def parse_blocks(path):
     for i in range(0, len(parts) - 1, 2):
         block = parts[i].strip()
         duration = parts[i + 1]
-        m = re.match(r"((?:Table|Figure|Ablation) [A-Za-z0-9]+) —", block)
+        m = re.match(r"((?:Table|Figure|Ablation|Scenario) [A-Za-z0-9]+) —", block)
         if not m:
             continue
         blocks[m.group(1)] = (block, duration)

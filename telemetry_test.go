@@ -72,6 +72,28 @@ func TestRunTelemetryContract(t *testing.T) {
 	}
 	recSnap := recRes.Result.Telemetry
 
+	// scenario.verdict only exists on scenario-judged runs, so a third
+	// tiny run through RunScenario instantiates it (the loadgen gauges
+	// are registered by every producer run, so the clean run covers
+	// them).
+	scReg := crayfish.NewTelemetry()
+	scCfg := cfg
+	scCfg.Telemetry = scReg
+	scCfg.Workload.InputRate = 0
+	scRes, err := crayfish.RunScenario(scCfg, crayfish.Scenario{
+		Kind:         crayfish.ScenarioServer,
+		TargetRate:   300,
+		Seed:         5,
+		LatencyBound: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scSnap := scRes.Telemetry
+	if scRes.Verdict == nil {
+		t.Fatal("scenario run returned no verdict")
+	}
+
 	// Documented metrics this run cannot move: a clean embedded run has
 	// no failures, no duplicate deliveries, and no serving daemon; a
 	// clean recovery has no abandoned records, and whether the *client*
@@ -113,6 +135,8 @@ func TestRunTelemetryContract(t *testing.T) {
 		from := snap
 		if fp := faultPathNames(m); fp != nil {
 			names, from = fp, recSnap
+		} else if m.Name == "scenario.verdict" {
+			from = scSnap
 		} else if m.Wildcard() {
 			// The remaining wildcard family is the per-topic backlog;
 			// the driver's fixed topics instantiate it.
