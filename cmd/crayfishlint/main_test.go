@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestLintFindingsExitNonZeroJSON is the end-to-end smoke test for the
+// CLI contract scripts depend on: against a module with seeded findings
+// (the analyzer fixture tree), crayfishlint must exit non-zero, and
+// -json must put a parseable report on stdout whose diagnostics carry
+// file/line/analyzer/message.
+func TestLintFindingsExitNonZeroJSON(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool not in PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "crayfishlint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building crayfishlint: %v\n%s", err, out)
+	}
+
+	fixture := filepath.Join("..", "..", "internal", "analysis", "testdata", "src")
+	cmd := exec.Command(bin, "-json", fixture)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("lint of the fixture module must fail with a non-zero exit, got err=%v\nstderr: %s", err, stderr.String())
+	}
+	if code := exitErr.ExitCode(); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+
+	var report struct {
+		Diagnostics []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+		Findings   int `json:"findings"`
+		Suppressed int `json:"suppressed"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not one JSON report: %v\n%s", err, stdout.String())
+	}
+	if len(report.Diagnostics) == 0 {
+		t.Fatal("fixture lint reported no diagnostics")
+	}
+	if report.Findings < len(report.Diagnostics) {
+		t.Errorf("findings = %d, below the %d diagnostics listed", report.Findings, len(report.Diagnostics))
+	}
+	if report.Suppressed == 0 {
+		t.Error("fixture suppressions were not counted in the JSON report")
+	}
+	for i, d := range report.Diagnostics {
+		if d.File == "" || d.Line <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("diagnostic %d is missing fields: %+v", i, d)
+		}
+		if filepath.IsAbs(d.File) {
+			t.Errorf("diagnostic %d file %q is absolute, want module-relative", i, d.File)
+		}
+	}
+}

@@ -72,7 +72,13 @@ type Pass struct {
 // Report records a diagnostic at pos unless an allow directive covers it.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	position := p.Module.Fset.Position(pos)
-	if p.Pkg != nil && p.Pkg.allows(p.Analyzer.Name, position) {
+	pkg := p.Pkg
+	if pkg == nil && p.Module != nil {
+		// Finish-phase findings still anchor to a source line; resolve
+		// the owning package so //lint:allow works for them too.
+		pkg = p.Module.packageForFile(position.Filename)
+	}
+	if pkg != nil && pkg.allows(p.Analyzer.Name, position) {
 		*p.suppressed++
 		return
 	}
@@ -125,6 +131,16 @@ func Run(mod *Module, suite []*Analyzer) Result {
 			diags: &res.Diagnostics, suppressed: &res.Suppressed}
 		a.Finish(pass)
 	}
+	// With every pass done, any well-formed directive that suppressed
+	// nothing is stale. Only a full-suite view can tell: directives for
+	// analyzers outside this suite are skipped.
+	suiteNames := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		suiteNames[a.Name] = true
+	}
+	for _, pkg := range mod.Packages {
+		reportStaleDirectives(pkg, suiteNames, &res.Diagnostics)
+	}
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
 		a, b := res.Diagnostics[i], res.Diagnostics[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -147,6 +163,9 @@ func DefaultAnalyzers() []*Analyzer {
 		NewGoroLifecycle(),
 		NewErrcheckLite(),
 		NewHotPathAlloc(),
+		NewArenaDiscipline(),
+		NewBorrowRetain(),
+		NewLockDiscipline(),
 	}
 }
 

@@ -107,7 +107,8 @@ func TestSuiteMatchesFixtureMarkers(t *testing.T) {
 }
 
 // TestEveryAnalyzerCatchesItsSeed is the per-analyzer acceptance check:
-// each of the five analyzers reports at least one fixture finding.
+// every analyzer in the default suite reports at least one fixture
+// finding.
 func TestEveryAnalyzerCatchesItsSeed(t *testing.T) {
 	_, res := fixture(t)
 	found := make(map[string]int)
@@ -140,13 +141,14 @@ func TestMetricNamesReverseDrift(t *testing.T) {
 	}
 }
 
-// TestDirectiveSuppressionAndGrammar: well-formed //lint:allow comments
-// suppress (the fixtures carry four), and a directive without a reason
-// is itself reported.
+// TestDirectiveSuppressionAndGrammar: well-formed lint:allow comments
+// suppress (the fixtures carry six, one in block-comment form), a
+// directive without a reason is itself reported, and a well-formed
+// directive that suppresses nothing is reported as stale.
 func TestDirectiveSuppressionAndGrammar(t *testing.T) {
 	_, res := fixture(t)
-	if res.Suppressed != 4 {
-		t.Errorf("suppressed = %d, want 4 (clockdiscipline, gorolifecycle, errchecklite, hotpathalloc fixtures)", res.Suppressed)
+	if res.Suppressed != 6 {
+		t.Errorf("suppressed = %d, want 6 (clockdiscipline line+block, gorolifecycle, errchecklite, hotpathalloc, lockdiscipline fixtures)", res.Suppressed)
 	}
 	var bad []analysis.Diagnostic
 	for _, d := range res.Diagnostics {
@@ -154,8 +156,19 @@ func TestDirectiveSuppressionAndGrammar(t *testing.T) {
 			bad = append(bad, d)
 		}
 	}
-	if len(bad) != 1 || !strings.Contains(bad[0].Pos.Filename, "clock.go") {
-		t.Errorf("got lintdirective diagnostics %v, want exactly one in clock.go (the reason-less directive)", bad)
+	if len(bad) != 2 {
+		t.Fatalf("got %d lintdirective diagnostics %v, want 2 (reason-less + stale, both in clock.go)", len(bad), bad)
+	}
+	for _, d := range bad {
+		if !strings.Contains(d.Pos.Filename, "clock.go") {
+			t.Errorf("lintdirective diagnostic outside clock.go: %v", d)
+		}
+	}
+	if !strings.Contains(bad[0].Message, "missing reason") {
+		t.Errorf("first lintdirective diagnostic should be the reason-less one, got: %s", bad[0].Message)
+	}
+	if !strings.Contains(bad[1].Message, "suppresses nothing") {
+		t.Errorf("second lintdirective diagnostic should be the stale one, got: %s", bad[1].Message)
 	}
 }
 

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// dfutil.go: shared AST/type helpers for the CFG-based analyzers
+// (arenadiscipline, borrowretain, lockdiscipline).
+
+// funcBodies yields every function-like body of a file — FuncDecl bodies
+// and FuncLit bodies — each of which gets its own CFG. fn receives the
+// declaring node (a *ast.FuncDecl or *ast.FuncLit) and the body.
+func funcBodies(f *ast.File, fn func(decl ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n, n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n, n.Body)
+		}
+		return true
+	})
+}
+
+// inspectShallow walks n but does not descend into FuncLit bodies: a
+// closure's statements execute when the closure runs, not where it is
+// written, so they belong to the closure's own CFG.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		return fn(c)
+	})
+}
+
+// useObj resolves an identifier's object through Uses then Defs.
+func useObj(info *types.Info, id *ast.Ident) types.Object {
+	if info == nil {
+		return nil
+	}
+	if obj, ok := info.Uses[id]; ok {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// isModuleTypeNamed reports whether t (possibly behind pointers) is a
+// named type with the given name declared in a package whose path is
+// pkgSuffix or ends in "/"+pkgSuffix — how analyzers recognize project
+// types both in the real module and in fixture modules.
+func isModuleTypeNamed(t types.Type, pkgSuffix, name string) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// pkgPathHasSuffix reports whether a package path matches a
+// module-relative suffix ("internal/grpcish") exactly or as a path tail.
+func pkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for builtin
+// and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := useObj(info, fun).(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := useObj(info, fun.Sel).(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// exprText renders a plain ident/selector chain ("s.arena", "b.mu") for
+// messages and same-instance comparisons; other shapes render as "".
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprText(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.UnaryExpr:
+		return exprText(e.X)
+	}
+	return ""
+}

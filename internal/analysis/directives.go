@@ -5,7 +5,9 @@ import (
 	"strings"
 )
 
-// directive is one parsed //lint:allow comment.
+// directive is one parsed lint:allow comment. The same *directive is
+// indexed under every line it covers, so suppression anywhere marks the
+// one shared instance used — the stale check's source of truth.
 type directive struct {
 	analyzer string
 	reason   string
@@ -14,34 +16,57 @@ type directive struct {
 	// analyzer name or reason); bad directives suppress nothing and are
 	// themselves reported.
 	bad string
+	// used records that the directive suppressed at least one finding
+	// this run; a well-formed directive that stays unused is stale.
+	used bool
 }
 
-const directivePrefix = "//lint:allow"
+const (
+	linePrefix  = "//lint:allow"
+	blockPrefix = "/*lint:allow"
+)
 
-// collectDirectives indexes every //lint:allow comment in the package by
-// the line it suppresses. Grammar:
+// cutDirective strips the lint:allow marker off a comment's text,
+// handling both line and block forms. The boundary character after the
+// marker must be whitespace (or nothing): //lint:allowance is not ours.
+func cutDirective(text string) (rest string, block, ok bool) {
+	if r, found := strings.CutPrefix(text, linePrefix); found {
+		rest, ok = r, true
+	} else if r, found := strings.CutPrefix(text, blockPrefix); found {
+		rest, block, ok = strings.TrimSuffix(r, "*/"), true, true
+	}
+	if !ok || (rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") && !strings.HasPrefix(rest, "\n")) {
+		return "", false, false
+	}
+	return rest, block, true
+}
+
+// collectDirectives indexes every lint:allow comment in the package by
+// the lines it covers. Grammar:
 //
 //	//lint:allow <analyzer> <reason...>
+//	/*lint:allow <analyzer> <reason...>*/
 //
 // A directive trailing a statement covers that statement's line; a
-// directive on its own line covers the next line. The reason is free
-// text and mandatory.
+// directive on its own line covers the next line — and only the next:
+// a blank line or a declaration between directive and finding breaks
+// the association. Several block directives may share one line. The
+// reason is free text and mandatory.
 func (p *Package) collectDirectives(fset *token.FileSet) {
-	p.allow = make(map[string][]directive)
+	p.allow = make(map[string][]*directive)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, directivePrefix) {
+				rest, block, ok := cutDirective(c.Text)
+				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				rest := strings.TrimPrefix(c.Text, directivePrefix)
-				d := directive{pos: pos}
-				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
-					continue // e.g. //lint:allowance — not ours
-				}
+				d := &directive{pos: pos}
 				fields := strings.Fields(rest)
 				switch {
+				case block && strings.Contains(rest, "\n"):
+					d.bad = "block directive must fit on one line (the lines it would cover are inside the comment)"
 				case len(fields) == 0:
 					d.bad = "missing analyzer name and reason"
 				case len(fields) == 1:
@@ -51,6 +76,7 @@ func (p *Package) collectDirectives(fset *token.FileSet) {
 					d.analyzer = fields[0]
 					d.reason = strings.Join(fields[1:], " ")
 				}
+				p.directives = append(p.directives, d)
 				// The directive covers its own line and, when it stands
 				// alone, the line below. Indexing both is harmless for
 				// trailing directives: code never occupies the line
@@ -85,35 +111,47 @@ func lineKey(file string, line int) string {
 }
 
 // allows reports whether a well-formed directive for the analyzer covers
-// the position.
+// the position, marking every matching directive used — a finding can be
+// covered twice (trailing + line-above), and neither copy is stale.
 func (p *Package) allows(analyzer string, pos token.Position) bool {
+	ok := false
 	for _, d := range p.allow[lineKey(pos.Filename, pos.Line)] {
 		if d.bad == "" && d.analyzer == analyzer {
-			return true
+			d.used = true
+			ok = true
 		}
 	}
-	return false
+	return ok
 }
 
-// reportBadDirectives surfaces malformed //lint:allow comments, which
+// reportBadDirectives surfaces malformed lint:allow comments, which
 // would otherwise rot silently while suppressing nothing.
 func reportBadDirectives(mod *Module, pkg *Package, out *[]Diagnostic) {
-	seen := make(map[string]bool)
-	for _, ds := range pkg.allow {
-		for _, d := range ds {
-			if d.bad == "" {
-				continue
-			}
-			key := lineKey(d.pos.Filename, d.pos.Line)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			*out = append(*out, Diagnostic{
-				Pos:      d.pos,
-				Analyzer: "lintdirective",
-				Message:  d.bad,
-			})
+	for _, d := range pkg.directives {
+		if d.bad == "" {
+			continue
 		}
+		*out = append(*out, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "lintdirective",
+			Message:  d.bad,
+		})
+	}
+}
+
+// reportStaleDirectives surfaces well-formed directives that suppressed
+// nothing over a full run of the suite. Directives naming an analyzer
+// outside the active suite are skipped: a partial run (-only) proves
+// nothing about them.
+func reportStaleDirectives(pkg *Package, suite map[string]bool, out *[]Diagnostic) {
+	for _, d := range pkg.directives {
+		if d.bad != "" || d.used || !suite[d.analyzer] {
+			continue
+		}
+		*out = append(*out, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "lintdirective",
+			Message:  "directive suppresses nothing: no " + d.analyzer + " finding on this line or the one below (stale — remove it, or move it next to the finding)",
+		})
 	}
 }

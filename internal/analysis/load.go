@@ -10,8 +10,10 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the module. Test files
@@ -38,8 +40,10 @@ type Package struct {
 	// whether they are fatal.
 	TypeErrors []error
 
-	// allow maps "<file>:<line>" to the analyzer names allowed there.
-	allow map[string][]directive
+	// allow maps "<file>:<line>" to the directives covering that line;
+	// directives holds each parsed directive once (allow double-indexes).
+	allow      map[string][]*directive
+	directives []*directive
 }
 
 // Module is a loaded Go module: every non-test, non-testdata package
@@ -55,10 +59,24 @@ type Module struct {
 	Packages []*Package
 
 	byPath map[string]*Package
+	byFile map[string]*Package
 }
 
 // Lookup returns the loaded package with the given import path, or nil.
 func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// packageForFile returns the loaded package owning filename, or nil.
+func (m *Module) packageForFile(filename string) *Package {
+	if m.byFile == nil {
+		m.byFile = make(map[string]*Package)
+		for _, pkg := range m.Packages {
+			for _, fn := range pkg.Filenames {
+				m.byFile[fn] = pkg
+			}
+		}
+	}
+	return m.byFile[filename]
+}
 
 var moduleDirective = regexp.MustCompile(`(?m)^module\s+(\S+)`)
 
@@ -113,12 +131,92 @@ func LoadModule(dir string) (*Module, error) {
 		done: make(map[string]*types.Package),
 		busy: make(map[string]bool),
 	}
-	for _, pkg := range mod.Packages {
-		if _, err := tc.checkModule(pkg.Path); err != nil {
-			pkg.TypeErrors = append(pkg.TypeErrors, err)
+	tc.checkAll()
+	return mod, nil
+}
+
+// checkAll type-checks every module package, in parallel waves along the
+// internal dependency order: a package is checked once all its
+// module-internal imports are, so a wave's members are independent and
+// GOMAXPROCS workers can take them concurrently (go/types itself is safe
+// for checking distinct packages; the shared importer state is locked).
+// Packages left over when no progress is possible sit on an import
+// cycle; they go through the serial recursive path, which names the
+// cycle in its error.
+func (tc *typechecker) checkAll() {
+	// Module-internal dependency edges, from the parsed import specs.
+	waiting := make(map[string]int)           // unchecked internal deps
+	dependents := make(map[string][]*Package) // dep path -> importers
+	for _, pkg := range tc.mod.Packages {
+		for dep := range internalImports(tc.mod, pkg) {
+			waiting[pkg.Path]++
+			dependents[dep] = append(dependents[dep], pkg)
 		}
 	}
-	return mod, nil
+
+	var ready []*Package
+	for _, pkg := range tc.mod.Packages {
+		if waiting[pkg.Path] == 0 {
+			ready = append(ready, pkg)
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	checked := 0
+	for len(ready) > 0 {
+		wave := ready
+		ready = nil
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for _, pkg := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(pkg *Package) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if _, err := tc.checkModule(pkg.Path); err != nil {
+					tc.mu.Lock()
+					pkg.TypeErrors = append(pkg.TypeErrors, err)
+					tc.mu.Unlock()
+				}
+			}(pkg)
+		}
+		wg.Wait()
+		checked += len(wave)
+		for _, pkg := range wave {
+			for _, dep := range dependents[pkg.Path] {
+				waiting[dep.Path]--
+				if waiting[dep.Path] == 0 {
+					ready = append(ready, dep)
+				}
+			}
+		}
+	}
+
+	// Anything still waiting is on (or behind) an import cycle: fall
+	// back to the serial recursive path for the cycle diagnostics.
+	if checked < len(tc.mod.Packages) {
+		for _, pkg := range tc.mod.Packages {
+			if _, err := tc.checkModule(pkg.Path); err != nil {
+				pkg.TypeErrors = append(pkg.TypeErrors, err)
+			}
+		}
+	}
+}
+
+// internalImports resolves a package's import specs to module-internal
+// package paths (the dependency edges the wave scheduler orders by).
+func internalImports(mod *Module, pkg *Package) map[string]bool {
+	deps := make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if mod.Lookup(path) != nil && path != pkg.Path {
+				deps[path] = true
+			}
+		}
+	}
+	return deps
 }
 
 // parseDir parses the non-test Go files of one directory into a Package
@@ -176,11 +274,20 @@ func (m *Module) parseDir(dir string) error {
 // entirely: the only packages a Crayfish build may reach are the module's
 // own and the standard library's, which is itself one of the enforced
 // invariants.
+//
+// The checker is safe for the wave scheduler's concurrency: done/busy
+// are mutex-guarded, each Package's fields are written only by the one
+// goroutine checking it, and the source importer — which has no internal
+// locking — is serialized behind its own mutex (it memoizes, so after a
+// std package's first import the critical section is a map hit).
 type typechecker struct {
-	mod  *Module
-	std  types.Importer
-	done map[string]*types.Package
-	busy map[string]bool
+	mod *Module
+	std types.Importer
+
+	mu    sync.Mutex // guards done, busy
+	stdMu sync.Mutex // serializes tc.std
+	done  map[string]*types.Package
+	busy  map[string]bool
 }
 
 func (tc *typechecker) Import(path string) (*types.Package, error) {
@@ -201,22 +308,33 @@ func (tc *typechecker) Import(path string) (*types.Package, error) {
 		// import itself; this keeps the type error local and fast.
 		return nil, fmt.Errorf("analysis: %q is neither standard library nor module-internal", path)
 	}
+	tc.stdMu.Lock()
+	defer tc.stdMu.Unlock()
 	return tc.std.Import(path)
 }
 
 func (tc *typechecker) checkModule(path string) (*types.Package, error) {
+	tc.mu.Lock()
 	if tp, ok := tc.done[path]; ok {
+		tc.mu.Unlock()
 		return tp, nil
 	}
 	if tc.busy[path] {
+		tc.mu.Unlock()
 		return nil, fmt.Errorf("analysis: import cycle through %q", path)
 	}
 	pkg := tc.mod.Lookup(path)
 	if pkg == nil {
+		tc.mu.Unlock()
 		return nil, fmt.Errorf("analysis: module package %q not found", path)
 	}
 	tc.busy[path] = true
-	defer delete(tc.busy, path)
+	tc.mu.Unlock()
+	defer func() {
+		tc.mu.Lock()
+		delete(tc.busy, path)
+		tc.mu.Unlock()
+	}()
 
 	pkg.TypesInfo = &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -233,6 +351,8 @@ func (tc *typechecker) checkModule(path string) (*types.Package, error) {
 	}
 	tp, _ := conf.Check(path, tc.mod.Fset, pkg.Files, pkg.TypesInfo)
 	pkg.Types = tp
+	tc.mu.Lock()
 	tc.done[path] = tp
+	tc.mu.Unlock()
 	return tp, nil
 }

@@ -1,0 +1,92 @@
+// Package arenause seeds arenadiscipline violations: use-after-recycle
+// (straight-line and path-joined), double recycle, and a buffer leaked on
+// an early-return path — plus the clean shapes (ping-pong, deferred
+// Reset, ownership transfer) that must stay silent.
+package arenause
+
+import (
+	"errors"
+
+	"fixture.test/internal/tensor"
+)
+
+var errFixture = errors.New("fixture")
+
+// UseAfterRecycle reads a buffer after returning it to the arena.
+func UseAfterRecycle(a *tensor.Arena) float32 {
+	t := a.Get(4)
+	t.Fill(1)
+	a.Recycle(t)
+	return t.Data()[0] // want arenadiscipline
+}
+
+// RecycleOnOnePath recycles on the then-branch only: the use after the
+// join may see a recycled buffer, and the unconditional Recycle may be
+// the second one.
+func RecycleOnOnePath(a *tensor.Arena, cond bool) {
+	t := a.Get(8)
+	if cond {
+		a.Recycle(t)
+	}
+	t.Fill(0)    // want arenadiscipline
+	a.Recycle(t) // want arenadiscipline
+}
+
+// LeakOnEarlyReturn recycles on the happy path but forgets the error
+// path.
+func LeakOnEarlyReturn(a *tensor.Arena, fail bool) error {
+	t := a.Get(2)
+	t.Fill(3)
+	if fail {
+		return errFixture // want arenadiscipline
+	}
+	a.Recycle(t)
+	return nil
+}
+
+// UseAfterReset reads a buffer invalidated by Reset.
+func UseAfterReset(a *tensor.Arena) float32 {
+	t := a.Get(4)
+	a.Reset()
+	return t.Data()[0] // want arenadiscipline
+}
+
+// PingPong is the clean layer-by-layer pattern: recycle the dead input,
+// move to the fresh output, transfer the final buffer to the caller.
+func PingPong(a *tensor.Arena, rounds int) *tensor.Tensor {
+	x := a.Get(4)
+	for i := 0; i < rounds; i++ {
+		y := a.Get(4)
+		y.Fill(float32(i))
+		a.Recycle(x)
+		x = y
+	}
+	return x
+}
+
+// DeferredReset is the Reset-at-end pattern: every buffer is reclaimed on
+// every path by the deferred Reset, so nothing here is a leak.
+func DeferredReset(a *tensor.Arena, fail bool) error {
+	defer a.Reset()
+	t := a.Get(4)
+	t.Fill(1)
+	if fail {
+		return errFixture
+	}
+	u := a.Get(4)
+	u.Fill(2)
+	return nil
+}
+
+type holder struct{ buf *tensor.Tensor }
+
+// StoreTransfers stores the buffer into a struct: ownership moved, the
+// early return below is not a leak of a tracked buffer.
+func StoreTransfers(a *tensor.Arena, h *holder, done bool) {
+	t := a.Get(4)
+	h.buf = t
+	if done {
+		return
+	}
+	h.buf.Fill(0)
+}

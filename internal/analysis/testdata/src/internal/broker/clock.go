@@ -27,3 +27,14 @@ func Poll(d time.Duration) {
 	//lint:allow clockdiscipline
 	<-time.Tick(d) // want clockdiscipline
 }
+
+// Fetch suppresses with the block-comment directive form.
+func Fetch() time.Time {
+	return time.Now() /*lint:allow clockdiscipline fixture: block form*/
+}
+
+// Idle carries a well-formed directive that suppresses nothing: stale.
+func Idle() int {
+	//lint:allow clockdiscipline nothing below reads the clock
+	return len("idle")
+}

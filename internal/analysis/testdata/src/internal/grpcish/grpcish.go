@@ -1,0 +1,9 @@
+// Package grpcish is the fixture stand-in for the module's in-process
+// RPC layer: lockdiscipline treats any call into it as a network call.
+package grpcish
+
+// Invoke performs a unary call over the in-process wire.
+func Invoke(method string) error {
+	_ = method
+	return nil
+}

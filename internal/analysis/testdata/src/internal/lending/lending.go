@@ -1,0 +1,96 @@
+// Package lending seeds borrowretain violations: aliases of //lint:lent
+// parameters escaping through struct-field and package-variable stores,
+// channel sends, and goroutine handoffs — plus the blessed
+// read/scratch/copy patterns that must stay silent.
+package lending
+
+import "sync"
+
+var stash []float32
+
+type accum struct{ buf []float32 }
+
+// Sum only reads the lent record: clean.
+//
+//lint:lent in
+func Sum(in []float32) float32 {
+	var s float32
+	for _, v := range in {
+		s += v
+	}
+	return s
+}
+
+// Retain stores the lent record into a longer-lived struct.
+//
+//lint:lent rec
+func Retain(a *accum, rec []float32) {
+	a.buf = rec // want borrowretain
+}
+
+// Publish leaks a subslice into a package variable (a subslice shares
+// the backing array) and sends the record to another goroutine.
+//
+//lint:lent rec
+func Publish(rec []float32, ch chan []float32) {
+	stash = rec[:1] // want borrowretain
+	ch <- rec       // want borrowretain
+}
+
+// Handoff gives the record to goroutines, by argument and by capture.
+//
+//lint:lent rec
+func Handoff(rec []float32, done chan float32) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go drain(rec, &wg) // want borrowretain
+	go func() {
+		done <- rec[0] // want borrowretain
+	}()
+	wg.Wait()
+}
+
+func drain(rec []float32, wg *sync.WaitGroup) {
+	_ = rec
+	wg.Done()
+}
+
+// AliasedRetain launders the record through a local alias before
+// storing it; the store is only reachable with the alias intact on one
+// path, which is exactly what the dataflow join must catch.
+//
+//lint:lent rec
+func AliasedRetain(a *accum, rec []float32, cond bool) {
+	tmp := rec
+	if cond {
+		tmp = nil
+	}
+	a.buf = tmp // want borrowretain
+}
+
+// Scratch is the blessed pattern: mutate the lent record in place as
+// scratch, copy the result out, hand the record straight back.
+//
+//lint:lent rec
+func Scratch(rec []float32) []float32 {
+	for i := range rec {
+		rec[i] *= 2
+	}
+	out := make([]float32, len(rec))
+	copy(out, rec)
+	return out
+}
+
+// BadName's directive names a parameter that does not exist.
+//
+//lint:lent nosuch
+func BadName(rec []float32) float32 { // want borrowretain
+	return rec[0]
+}
+
+// MissingName's directive names nothing at all.
+//
+//lint:lent
+func MissingName(rec []float32) float32 { // want borrowretain
+	return rec[0]
+}

@@ -1,0 +1,122 @@
+// Package lockuse seeds lockdiscipline violations: a two-mutex
+// acquisition-order cycle, a self-relock, and blocking operations
+// (send, receive-only select, sleep, WaitGroup.Wait, RPC) inside
+// critical sections — plus the clean shapes (copy-then-send,
+// select-with-default, consistent nesting) that must stay silent.
+package lockuse
+
+import (
+	"sync"
+	"time"
+
+	"fixture.test/internal/grpcish"
+)
+
+type table struct {
+	mu   sync.Mutex
+	rows map[string]int
+}
+
+type journal struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+// Promote nests journal.mu inside table.mu — fine on its own, but
+// Audit below nests them the other way around, closing the cycle.
+func Promote(t *table, j *journal, k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j.mu.Lock()
+	j.entries = append(j.entries, k)
+	j.mu.Unlock()
+	t.rows[k]++
+}
+
+// Audit nests table.mu inside journal.mu: the opposite order to
+// Promote. The cycle diagnostic anchors here (the journal→table edge
+// sorts first).
+func Audit(t *table, j *journal) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t.mu.Lock() // want lockdiscipline
+	n := len(t.rows)
+	t.mu.Unlock()
+	return n
+}
+
+// Relock takes the same mutex twice on one path.
+func Relock(t *table) {
+	t.mu.Lock()
+	t.mu.Lock() // want lockdiscipline
+	t.rows["twice"]++
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// SendUnderLock sends on a channel inside the critical section.
+func SendUnderLock(t *table, ch chan int) {
+	t.mu.Lock()
+	ch <- len(t.rows) // want lockdiscipline
+	t.mu.Unlock()
+}
+
+// PollUnderLock blocks on a select with no default while holding the
+// lock.
+func PollUnderLock(t *table, ch chan int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select { // want lockdiscipline
+	case v := <-ch:
+		return v
+	}
+}
+
+// SleepUnderLock holds the lock across a sleep.
+func SleepUnderLock(j *journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	time.Sleep(time.Millisecond) // want lockdiscipline
+}
+
+// WaitUnderLock holds the lock across a WaitGroup join.
+func WaitUnderLock(t *table, wg *sync.WaitGroup) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	wg.Wait() // want lockdiscipline
+}
+
+// CallUnderLock holds the lock across an RPC.
+func CallUnderLock(t *table) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return grpcish.Invoke("scorer/Predict") // want lockdiscipline
+}
+
+// PacedRetire documents a justified hold across a bounded pause.
+func PacedRetire(j *journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	time.Sleep(time.Microsecond) //lint:allow lockdiscipline fixture: bounded pacing pause, justified hold
+	j.entries = j.entries[:0]
+}
+
+// Snapshot is the blessed shape: copy under the lock, send after
+// releasing it.
+func Snapshot(t *table, ch chan int) {
+	t.mu.Lock()
+	n := len(t.rows)
+	t.mu.Unlock()
+	ch <- n
+}
+
+// TryDrain never blocks under the lock: the select has a default.
+func TryDrain(t *table, ch chan int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case v := <-ch:
+		t.rows["last"] = v
+	default:
+	}
+}

@@ -222,7 +222,11 @@ func (b *Batcher) Target() int {
 // Do submits one record value and blocks until its scored result is
 // available. The caller that completes a batch flushes it on its own
 // goroutine (leader flush), so several batches can be in flight at
-// once; everyone else parks on their request's done channel.
+// once; everyone else parks on their request's done channel. value is
+// held only until Do returns: the flush that scores it completes
+// before the request's done channel closes.
+//
+//lint:lent value
 func (b *Batcher) Do(value []byte) ([]byte, error) {
 	r := &request{value: value, done: make(chan struct{}), start: b.clock.Now()}
 	b.mu.Lock()

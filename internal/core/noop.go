@@ -27,6 +27,8 @@ func (n NoopScorer) InputLen() int { return n.Inputs }
 func (n NoopScorer) OutputSize() int { return n.Outputs }
 
 // Score implements serving.Scorer: constant output, no compute.
+//
+//lint:lent inputs
 func (n NoopScorer) Score(inputs []float32, count int) ([]float32, error) {
 	if err := serving.ValidateBatch(inputs, count, n.Inputs); err != nil {
 		return nil, err

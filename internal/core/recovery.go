@@ -283,6 +283,10 @@ func (f *faultScorer) Name() string    { return f.inner.Name() }
 func (f *faultScorer) InputLen() int   { return f.inner.InputLen() }
 func (f *faultScorer) OutputSize() int { return f.inner.OutputSize() }
 
+// Score injects the configured delay/fault, then defers to the wrapped
+// scorer under the same buffer-ownership contract.
+//
+//lint:lent inputs
 func (f *faultScorer) Score(inputs []float32, n int) ([]float32, error) {
 	if d := f.inj.ReplicaDelay(); d > 0 {
 		time.Sleep(d)

@@ -332,6 +332,8 @@ func (p *Plan) newState(n int) *execState {
 // contract; the result is written to out (length ≥ n×OutputLen). After
 // warmup — one call per (batch size, goroutine) — the pass performs no
 // heap allocations.
+//
+//lint:lent in
 func (p *Plan) Forward(in []float32, n int, out []float32) error {
 	if n <= 0 {
 		return fmt.Errorf("model %q plan: non-positive batch size %d", p.m.Name, n)

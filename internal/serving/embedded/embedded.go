@@ -146,6 +146,8 @@ func (r *Runtime) OutputSize() int {
 }
 
 // Score implements serving.Scorer (the apply half of CrayfishModel).
+//
+//lint:lent inputs
 func (r *Runtime) Score(inputs []float32, n int) ([]float32, error) {
 	if r.m == nil {
 		return nil, fmt.Errorf("embedded %s: no model loaded", r.kind)

@@ -360,6 +360,8 @@ func (c *rayClient) Close() error {
 // deadline, torn body) are typed ErrUnavailable and retried; an HTTP
 // error status proves the daemon is up, so it neither retries nor trips
 // the breaker.
+//
+//lint:lent inputs
 func (c *rayClient) Score(inputs []float32, n int) ([]float32, error) {
 	if err := serving.ValidateBatch(inputs, n, c.meta.InputLen); err != nil {
 		return nil, err

@@ -70,7 +70,7 @@ func (s *tfServer) SetWorkers(n int) error {
 	defer s.mu.Unlock()
 	permits := make(chan struct{}, n)
 	for i := 0; i < n; i++ {
-		permits <- struct{}{}
+		permits <- struct{}{} //lint:allow lockdiscipline fresh buffered channel with capacity n; these n sends can never block
 	}
 	s.permits = permits
 	s.cfg.Workers = n
@@ -172,6 +172,8 @@ func (c *tfClient) Close() error    { return c.c.Close() }
 
 // Score implements serving.Scorer over the network. Calls are blocking, as
 // all external calls in the paper's experiments are (§4.3).
+//
+//lint:lent inputs
 func (c *tfClient) Score(inputs []float32, n int) ([]float32, error) {
 	if err := serving.ValidateBatch(inputs, n, c.meta.InputLen); err != nil {
 		return nil, err

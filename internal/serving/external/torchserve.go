@@ -267,6 +267,8 @@ func (c *torchClient) OutputSize() int { return c.meta.OutputSize }
 func (c *torchClient) Close() error    { return c.c.Close() }
 
 // Score implements serving.Scorer over the network.
+//
+//lint:lent inputs
 func (c *torchClient) Score(inputs []float32, n int) ([]float32, error) {
 	if err := serving.ValidateBatch(inputs, n, c.meta.InputLen); err != nil {
 		return nil, err

@@ -77,6 +77,8 @@ func Instrument(s Scorer, reg *telemetry.Registry) Scorer {
 }
 
 // Score implements Scorer, recording telemetry around the wrapped call.
+//
+//lint:lent inputs
 func (i *instrumentedScorer) Score(inputs []float32, n int) ([]float32, error) {
 	sampled := i.scoreSeq.Add(1)%allocSampleEvery == 1
 	var before uint64

@@ -81,6 +81,8 @@ func ValidateBatch(inputs []float32, n, inputLen int) error {
 // buffer, so unlike Score the caller's slices are never used as
 // scratch. The returned slices alias one predictions allocation and are
 // owned by the caller.
+//
+//lint:lent batches
 func ScoreBatch(s Scorer, batches [][]float32, counts []int) ([][]float32, error) {
 	if len(batches) != len(counts) {
 		return nil, fmt.Errorf("serving: %d batches with %d counts", len(batches), len(counts))

@@ -42,6 +42,14 @@ go test -race -count=1 \
 	-run 'TestScheduleDeterminism|TestScheduleGolden|TestScenarioVerdicts|TestPacer' \
 	./internal/loadgen/
 go test -race -count=1 -run 'TestLoadPolicyAliases|TestRunScenario' ./internal/core/
+# Static-analysis self-tests (docs/STATIC_ANALYSIS.md): the CFG/dataflow
+# analyzers must match the fixture markers exactly, the directive grammar
+# must associate suppressions to the right lines, and the wave-parallel
+# type-checking loader is the one concurrent piece of the lint pipeline —
+# so this runs race-enabled and by name for an attributable failure.
+go test -race -count=1 \
+	-run 'TestCFG|TestForward|TestSuiteMatchesFixtureMarkers|TestEveryAnalyzerCatchesItsSeed|TestDirective|TestParallelLoadMatchesSerialView' \
+	./internal/analysis/
 go test -race ./...
 CRAYFISH_BENCH_SCALE=0.05 go test -run NONE -bench . -benchtime=1x .
 # Inference microbenchmarks at smoke scale: validates the harness and the

@@ -1,7 +1,22 @@
 #!/bin/sh
 # Fast lint entry point: run the project's static-analysis suite
 # (see docs/STATIC_ANALYSIS.md) without the full check.sh pipeline.
+#
+#   scripts/lint.sh           line-per-finding output, exit 1 on findings
+#   scripts/lint.sh --json    one machine-readable JSON report on stdout
 set -e
 cd "$(dirname "$0")/.."
 
-go run ./cmd/crayfishlint ./...
+args=""
+for arg in "$@"; do
+	case "$arg" in
+	--json | -json) args="$args -json" ;;
+	*)
+		echo "lint.sh: unknown argument $arg (supported: --json)" >&2
+		exit 2
+		;;
+	esac
+done
+
+# shellcheck disable=SC2086  # deliberate word-splitting of flag list
+go run ./cmd/crayfishlint $args ./...
