@@ -1,0 +1,159 @@
+package main
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"crayfish"
+	"crayfish/internal/broker"
+	"crayfish/internal/testutil/leakcheck"
+)
+
+func TestMain(m *testing.M) { leakcheck.Main(m) }
+
+func TestParseTopics(t *testing.T) {
+	specs, err := parseTopics("in:4, out:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0] != (topicSpec{"in", 4}) || specs[1] != (topicSpec{"out", 2}) {
+		t.Fatalf("specs %+v", specs)
+	}
+	if specs, err := parseTopics(""); err != nil || specs != nil {
+		t.Fatalf("empty flag: %v %v", specs, err)
+	}
+	for _, bad := range []string{"in", "in:0", "in:-1", "in:x"} {
+		if _, err := parseTopics(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	addrs, err := parsePeers("127.0.0.1:9092, 127.0.0.1:9093", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[1] != "127.0.0.1:9093" {
+		t.Fatalf("addrs %v", addrs)
+	}
+	for _, bad := range []struct {
+		peers string
+		id    int
+	}{
+		{"", 0},                               // missing list
+		{"127.0.0.1:9092", 0},                 // one node is not a cluster
+		{"127.0.0.1:9092,nonsense", 0},        // unparsable address
+		{"127.0.0.1:9092,127.0.0.1:9093", 2},  // id past the list
+		{"127.0.0.1:9092,127.0.0.1:9093", -1}, // negative id
+	} {
+		if _, err := parsePeers(bad.peers, bad.id); err == nil {
+			t.Fatalf("peers=%q id=%d accepted", bad.peers, bad.id)
+		}
+	}
+}
+
+// reservePorts grabs n ephemeral listen addresses and frees them for the
+// cluster to rebind — members must know each other's ports up front, so
+// :0 placeholders cannot appear in the shared peer list.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestStartClusterSmoke boots the full three-process wiring in one
+// process: every member runs startCluster concurrently (processes start
+// in any order — the peer-wait dial loop absorbs that), node 0 creates a
+// replicated topic, and a partition-aware client must see acked produces
+// come back through the high-watermark gate. Each node's own registry
+// must report per-partition leadership — including the followers', which
+// is what /metrics serves per node.
+func TestStartClusterSmoke(t *testing.T) {
+	addrs := reservePorts(t, 3)
+	regs := make([]*crayfish.TelemetryRegistry, 3)
+	nodes := make([]*clusterNode, 3)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for id := 0; id < 3; id++ {
+		regs[id] = crayfish.NewTelemetry()
+		var topics []topicSpec
+		if id == 0 {
+			topics = []topicSpec{{"t", 2}}
+		}
+		wg.Add(1)
+		go func(id int, topics []topicSpec) {
+			defer wg.Done()
+			nodes[id], errs[id] = startCluster(id, addrs, 3, topics, regs[id])
+		}(id, topics)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+	}
+	defer func() {
+		for _, cn := range nodes {
+			cn.Close()
+		}
+	}()
+
+	links := make([]broker.ClusterTransport, 3)
+	for i, a := range addrs {
+		rc, err := broker.Dial(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rc.Close()
+		links[i] = rc
+	}
+	cl, err := broker.NewClusterClient(links, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		if _, err := cl.Produce("t", p, []broker.Record{{Value: []byte("v")}}); err != nil {
+			t.Fatalf("produce p%d: %v", p, err)
+		}
+		recs, err := cl.Fetch("t", p, 0, 10)
+		if err != nil {
+			t.Fatalf("fetch p%d: %v", p, err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("p%d: %d records past the high-watermark, want 1", p, len(recs))
+		}
+	}
+
+	// Leadership is round-robin over the node ids, so partition p's
+	// leader is node p — and every member's registry must agree.
+	for id, reg := range regs {
+		snap := reg.Snapshot()
+		for p := 0; p < 2; p++ {
+			key := "broker.cluster.leader.t-" + string(rune('0'+p))
+			leader, ok := snap.Gauges[key]
+			if !ok {
+				t.Fatalf("node %d registry missing %s", id, key)
+			}
+			if leader != int64(p) {
+				t.Fatalf("node %d reports leader %d for partition %d", id, leader, p)
+			}
+		}
+	}
+	if _, ok := regs[0].Snapshot().Counters["broker.cluster.failovers"]; !ok {
+		t.Fatal("controller registry missing broker.cluster.failovers")
+	}
+}

@@ -185,17 +185,25 @@ type (
 	// RecoveryResult is a recovery run's outcome: the usual Result plus
 	// the loss/duplication accounting and recovery timings.
 	RecoveryResult = core.RecoveryResult
+	// ClusterSpec sizes the replicated broker cluster a failover
+	// recovery run executes against (docs/CLUSTER.md).
+	ClusterSpec = core.ClusterSpec
+	// ClusterRecoveryResult extends RecoveryResult with the failover
+	// accounting: elections performed and the highest leader epoch.
+	ClusterRecoveryResult = core.ClusterRecoveryResult
 )
 
 // Fault kinds.
 const (
-	FaultDrop        = faults.Drop
-	FaultDuplicate   = faults.Duplicate
-	FaultDelay       = faults.Delay
-	FaultCrash       = faults.Crash
-	FaultRestart     = faults.Restart
-	FaultScorerError = faults.ScorerError
-	FaultSlowReplica = faults.SlowReplica
+	FaultDrop          = faults.Drop
+	FaultDuplicate     = faults.Duplicate
+	FaultDelay         = faults.Delay
+	FaultCrash         = faults.Crash
+	FaultRestart       = faults.Restart
+	FaultScorerError   = faults.ScorerError
+	FaultSlowReplica   = faults.SlowReplica
+	FaultBrokerCrash   = faults.BrokerCrash
+	FaultBrokerRestart = faults.BrokerRestart
 )
 
 // RunRecovery executes one experiment while the fault plan fires and
@@ -203,6 +211,15 @@ const (
 // runs always use a private in-process broker. See docs/FAULTS.md.
 func RunRecovery(cfg Config, plan FaultPlan) (*RecoveryResult, error) {
 	return (&Runner{}).RunRecovery(cfg, plan)
+}
+
+// RunClusterRecovery executes one experiment against a private
+// replicated broker cluster while the fault plan fires: broker-crash
+// events kill named nodes, the controller fails leadership over, and
+// the partition-aware client re-routes. Acked-record loss must stay 0
+// across a single leader crash (docs/CLUSTER.md).
+func RunClusterRecovery(cfg Config, plan FaultPlan, spec ClusterSpec) (*ClusterRecoveryResult, error) {
+	return (&Runner{}).RunClusterRecovery(cfg, plan, spec)
 }
 
 // NewTelemetry creates a live-metrics registry to attach to

@@ -93,3 +93,54 @@ func (s *supervisor) RestartSignalled() {
 		work()
 	}()
 }
+
+// fetcherFleet mimics the cluster node's replication catch-up loops:
+// one fetcher goroutine per followed partition, each with its own stop
+// channel, all joined through the fleet WaitGroup.
+type fetcherFleet struct {
+	wg    sync.WaitGroup
+	stops map[int]chan struct{}
+}
+
+// Reconcile is the joined replication-fetch shape: retargeting the
+// followed set re-arms the WaitGroup before every spawn, so Close can
+// wait the whole fleet out after closing the stop channels.
+func (f *fetcherFleet) Reconcile(parts []int) {
+	for _, p := range parts {
+		stop := make(chan struct{})
+		f.stops[p] = stop
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			fetchLoop(stop)
+		}()
+	}
+}
+
+// ReconcileLeaky swaps in a replacement fetcher with no join — the
+// leadership-change bug: the old loop was waited on, the replacement
+// outlives Close.
+func (f *fetcherFleet) ReconcileLeaky(p int) {
+	stop := make(chan struct{})
+	f.stops[p] = stop
+	go fetchLoop(stop) // want gorolifecycle
+}
+
+// Close stops every fetcher, then joins the fleet.
+func (f *fetcherFleet) Close() {
+	for _, stop := range f.stops {
+		close(stop)
+	}
+	f.wg.Wait()
+}
+
+func fetchLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			work()
+		}
+	}
+}

@@ -1,8 +1,9 @@
-// Package lockuse seeds lockdiscipline violations: a two-mutex
-// acquisition-order cycle, a self-relock, and blocking operations
+// Package lockuse seeds lockdiscipline violations: two-mutex
+// acquisition-order cycles, a self-relock, and blocking operations
 // (send, receive-only select, sleep, WaitGroup.Wait, RPC) inside
 // critical sections — plus the clean shapes (copy-then-send,
-// select-with-default, consistent nesting) that must stay silent.
+// select-with-default, consistent nesting, and the cluster layer's
+// election nesting and high-watermark wait) that must stay silent.
 package lockuse
 
 import (
@@ -118,5 +119,82 @@ func TryDrain(t *table, ch chan int) {
 	case v := <-ch:
 		t.rows["last"] = v
 	default:
+	}
+}
+
+// seat and replica mimic the cluster control plane: the controller
+// seat's mutex nests outside each replica's, never the other way.
+type seat struct {
+	mu      sync.Mutex
+	leaders map[int]int
+}
+
+type replica struct {
+	mu  sync.Mutex
+	end int
+}
+
+// Elect is the clean election nesting — seat.mu outside replica.mu,
+// the one order every control-plane path uses: longest log in the
+// in-sync set wins, ties to the lowest id.
+func Elect(s *seat, replicas []*replica, p int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, bestEnd := -1, -1
+	for i, r := range replicas {
+		r.mu.Lock()
+		end := r.end
+		r.mu.Unlock()
+		if end > bestEnd {
+			best, bestEnd = i, end
+		}
+	}
+	s.leaders[p] = best
+}
+
+// Announce nests seat.mu inside replica.mu — a replica upcalling into
+// the control plane while holding its own state, the opposite order to
+// Elect. The cycle diagnostic anchors here (the replica→seat edge
+// sorts first).
+func Announce(s *seat, r *replica, p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.mu.Lock() // want lockdiscipline
+	s.leaders[p] = r.end
+	s.mu.Unlock()
+}
+
+// hwState mimics a partition's replication state: the high-watermark
+// plus the signal channel its advance closes and re-arms.
+type hwState struct {
+	mu   sync.Mutex
+	hw   int
+	hwCh chan struct{}
+}
+
+// AwaitHW is the blessed ack-wait shape: capture the signal channel
+// under the lock, release, then block — the advance path can take the
+// lock to close and re-arm the channel.
+func AwaitHW(st *hwState, offset int) {
+	for {
+		st.mu.Lock()
+		if st.hw > offset {
+			st.mu.Unlock()
+			return
+		}
+		ch := st.hwCh
+		st.mu.Unlock()
+		<-ch
+	}
+}
+
+// AwaitHWUnderLock blocks on the signal while still holding the state
+// lock — deadlock: the advance path needs the same lock to close the
+// channel.
+func AwaitHWUnderLock(st *hwState, offset int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for st.hw <= offset {
+		<-st.hwCh // want lockdiscipline
 	}
 }

@@ -234,6 +234,67 @@ func (b *Broker) applyFaults(topicName string, recs []Record) []Record {
 	return out
 }
 
+// replicate appends already-stamped records from a partition leader,
+// preserving their offsets and append times verbatim so replicas stay
+// byte-identical to the leader's log. It bypasses the produce-boundary
+// fault/network hooks — those fired once on the leader; replication is
+// internal traffic — and skips the client-traffic counters.
+func (b *Broker) replicate(topicName string, partition int, recs []Record) error {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return err
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return fmt.Errorf("%w: %s/%d", ErrUnknownPartition, topicName, partition)
+	}
+	if err := t.parts[partition].replicate(recs); err != nil {
+		return err
+	}
+	t.appended()
+	return nil
+}
+
+// replicaRead serves a follower catch-up fetch from the raw log: no
+// high-watermark clamp (followers replicate past it), no network model,
+// and no consumer-traffic counters.
+func (b *Broker) replicaRead(topicName string, partition int, offset int64, max int) ([]Record, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return nil, fmt.Errorf("%w: %s/%d", ErrUnknownPartition, topicName, partition)
+	}
+	return t.parts[partition].fetch(offset, max)
+}
+
+// truncateTo discards records at and above offset `to` — the demotion
+// path for a deposed leader, which drops its unacked tail before
+// re-fetching from the new leader.
+func (b *Broker) truncateTo(topicName string, partition int, to int64) error {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return err
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return fmt.Errorf("%w: %s/%d", ErrUnknownPartition, topicName, partition)
+	}
+	t.parts[partition].truncate(to)
+	return nil
+}
+
+// RebalanceGroups bumps every consumer group's generation, forcing all
+// members through a rebalance round trip. The cluster controller calls
+// it on the coordinator seat when broker membership changes, mirroring
+// Kafka's rebalance-on-cluster-change.
+func (b *Broker) RebalanceGroups() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, g := range b.groups {
+		_ = b.rebalanceLocked(g)
+	}
+}
+
 // AppendSignal returns a channel that is closed the next time records are
 // appended to any partition of the topic. Callers must capture the
 // channel, check for data, and only then block on it: the capture-then-
@@ -486,6 +547,40 @@ func (p *partition) fetchInto(offset int64, max int, out []Record) ([]Record, er
 		hi = int64(len(p.recs))
 	}
 	return append(out, p.recs[lo:hi]...), nil
+}
+
+// replicate appends leader-stamped records verbatim. Records the
+// replica already holds are skipped (replica fetches can overlap after
+// a retried round trip); a gap past the local end is an error — the
+// follower must re-fetch from its end.
+func (p *partition) replicate(recs []Record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	end := p.start + int64(len(p.recs))
+	for _, r := range recs {
+		if r.Offset < end {
+			continue
+		}
+		if r.Offset > end {
+			return fmt.Errorf("%w: replica append at %d past log end %d", ErrOffsetOutOfRange, r.Offset, end)
+		}
+		p.recs = append(p.recs, r)
+		end++
+	}
+	return nil
+}
+
+// truncate discards records at and above offset `to`.
+func (p *partition) truncate(to int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if to < p.start {
+		to = p.start
+	}
+	keep := to - p.start
+	if keep < int64(len(p.recs)) {
+		p.recs = p.recs[:keep]
+	}
 }
 
 func (p *partition) end() int64 {

@@ -1,0 +1,199 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Cluster-mode errors. ErrNotLeader and ErrNodeDown are routing signals:
+// the partition-aware client refreshes its metadata and re-routes, so
+// both travel wrapped retryable (resilience.IsRetryable). ErrFencedEpoch
+// is the fencing verdict a stale leader or follower receives when its
+// leader epoch no longer matches; the controller's next view push
+// resolves it, so it too is retryable from the replication loop's point
+// of view. ErrAckTimeout means replication did not confirm an append
+// within the ack window — the record may or may not be stored, exactly
+// Kafka's acks=all timeout, and the producer's retry (at-least-once,
+// deduplicated downstream) rides it out.
+var (
+	ErrNotLeader   = errors.New("broker: not leader for partition")
+	ErrNodeDown    = errors.New("broker: node down")
+	ErrFencedEpoch = errors.New("broker: fenced leader epoch")
+	ErrAckTimeout  = errors.New("broker: replication ack timeout")
+	ErrNoLeader    = errors.New("broker: partition has no live leader")
+)
+
+// NotLeaderError reports where a misrouted partition request should have
+// gone. It matches errors.Is(err, ErrNotLeader); Leader is -1 when the
+// partition is currently leaderless (every replica dead).
+type NotLeaderError struct {
+	TP     TopicPartition
+	Leader int
+	Epoch  int
+}
+
+// Error implements error.
+func (e *NotLeaderError) Error() string {
+	return fmt.Sprintf("broker: not leader for %s/%d (leader node %d, epoch %d)", e.TP.Topic, e.TP.Partition, e.Leader, e.Epoch)
+}
+
+// Is matches the sentinel so callers can errors.Is(err, ErrNotLeader)
+// without knowing the concrete type.
+func (e *NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
+
+// PartitionState is one partition's replication state inside a
+// ClusterView: who leads at which epoch, which nodes hold replicas, and
+// which of them are in sync (eligible for election; their log ends gate
+// the high-watermark).
+type PartitionState struct {
+	Leader   int   `json:"leader"` // -1 when offline
+	Epoch    int   `json:"epoch"`
+	Replicas []int `json:"replicas"`
+	ISR      []int `json:"isr"`
+}
+
+// ClusterView is the controller's metadata: cluster membership and
+// per-partition leadership. Nodes and clients hold private copies;
+// Version orders pushes so a stale view never overwrites a newer one.
+type ClusterView struct {
+	Version    int                         `json:"version"`
+	Members    []int                       `json:"members"` // alive node ids, sorted
+	Partitions map[string][]PartitionState `json:"partitions"`
+}
+
+// Clone deep-copies the view so holders can mutate their copy freely.
+func (v ClusterView) Clone() ClusterView {
+	out := ClusterView{Version: v.Version, Members: append([]int(nil), v.Members...)}
+	if v.Partitions != nil {
+		out.Partitions = make(map[string][]PartitionState, len(v.Partitions))
+		for t, states := range v.Partitions {
+			cp := make([]PartitionState, len(states))
+			for i, s := range states {
+				cp[i] = PartitionState{
+					Leader:   s.Leader,
+					Epoch:    s.Epoch,
+					Replicas: append([]int(nil), s.Replicas...),
+					ISR:      append([]int(nil), s.ISR...),
+				}
+			}
+			out.Partitions[t] = cp
+		}
+	}
+	return out
+}
+
+// State returns the partition's replication state, or false when the
+// view does not cover it.
+func (v ClusterView) State(tp TopicPartition) (PartitionState, bool) {
+	states, ok := v.Partitions[tp.Topic]
+	if !ok || tp.Partition < 0 || tp.Partition >= len(states) {
+		return PartitionState{}, false
+	}
+	return states[tp.Partition], true
+}
+
+// Leader returns the partition's current leader node id, or an error
+// when the view does not cover the partition or it is offline.
+func (v ClusterView) Leader(tp TopicPartition) (int, error) {
+	s, ok := v.State(tp)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s/%d", ErrUnknownPartition, tp.Topic, tp.Partition)
+	}
+	if s.Leader < 0 {
+		return 0, fmt.Errorf("%w: %s/%d", ErrNoLeader, tp.Topic, tp.Partition)
+	}
+	return s.Leader, nil
+}
+
+// ReplicaFetchRequest is a follower's catch-up read: Offset is the
+// follower's log end (it holds everything below), so the leader both
+// serves the next records and learns the follower's replication
+// progress from the same message — the Kafka fetch-derived ISR model.
+type ReplicaFetchRequest struct {
+	Topic     string `json:"topic"`
+	Partition int    `json:"partition"`
+	Offset    int64  `json:"offset"`
+	Max       int    `json:"max"`
+	From      int    `json:"from"`  // follower node id
+	Epoch     int    `json:"epoch"` // follower's leader epoch for the partition
+}
+
+// ReplicaFetchResponse carries the records plus the leader's current
+// high-watermark and epoch, which is how followers learn both.
+type ReplicaFetchResponse struct {
+	Records []Record
+	HW      int64
+	Epoch   int
+}
+
+// ClusterPeer is the node-to-node surface: the controller pings peers,
+// pushes views, and queries raw log ends for elections; followers pull
+// replica fetches from leaders. A *Node implements it in process; a
+// *RemoteClient implements it over the wire for brokerd clusters.
+type ClusterPeer interface {
+	Ping() error
+	PushView(v ClusterView) error
+	ReplicaFetch(req ReplicaFetchRequest) (ReplicaFetchResponse, error)
+	// LogEnd is the node's raw local log end for a partition (not the
+	// consumer-visible high-watermark) — the controller's election key.
+	LogEnd(tp TopicPartition) (int64, error)
+}
+
+// ClusterTransport is the client-facing surface of one cluster node:
+// the ordinary Transport plus metadata discovery.
+type ClusterTransport interface {
+	Transport
+	ClusterView() (ClusterView, error)
+}
+
+// tpKey renders a TopicPartition for metric-name suffixes
+// (broker.cluster.leader.<topic>-<partition>).
+func tpKey(tp TopicPartition) string {
+	return fmt.Sprintf("%s-%d", tp.Topic, tp.Partition)
+}
+
+// containsInt reports membership in a small id slice.
+func containsInt(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// removeInt returns ids without id, preserving order.
+func removeInt(ids []int, id int) []int {
+	out := make([]int, 0, len(ids))
+	for _, v := range ids {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// insertSorted adds id to a sorted id slice if absent.
+func insertSorted(ids []int, id int) []int {
+	if containsInt(ids, id) {
+		return ids
+	}
+	ids = append(ids, id)
+	sort.Ints(ids)
+	return ids
+}
+
+// placement computes the replica set for partition p in an n-node
+// cluster at replication factor r: nodes p, p+1, … p+r−1 (mod n), the
+// first being the preferred leader — Kafka's round-robin assignment.
+func placement(p, n, r int) []int {
+	if r > n {
+		r = n
+	}
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		out[i] = (p + i) % n
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"crayfish/internal/faults"
+	"crayfish/internal/resilience"
+)
+
+// ClusterConfig configures an in-process replicated cluster.
+type ClusterConfig struct {
+	// Nodes is the broker count N (node ids 0..N-1; node 0 is the
+	// controller and consumer-group coordinator seat).
+	Nodes int
+	// ReplicationFactor is replicas per partition (clamped to Nodes).
+	ReplicationFactor int
+	// Broker is the per-node log configuration (clock, metrics, network
+	// model, fault injector for produce-boundary message faults — each
+	// fires once, on the partition leader). RetentionRecords must be 0.
+	Broker Config
+	// AckTimeout bounds a produce's wait for replication (default 5s).
+	AckTimeout time.Duration
+	// HeartbeatEvery is the controller's liveness sweep interval
+	// (default 1ms).
+	HeartbeatEvery time.Duration
+	// ReplicaPoll is the follower fetch loop's idle interval (default
+	// 1ms).
+	ReplicaPoll time.Duration
+}
+
+// Cluster is an in-process replicated broker cluster: N nodes with
+// per-partition leadership at replication factor R, a deterministic
+// controller on node 0, and named crash/restart hooks for the fault
+// injector's broker-crash / broker-restart timed events.
+type Cluster struct {
+	cfg   ClusterConfig
+	nodes []*Node
+	ctrl  *Controller
+}
+
+// NewCluster builds and starts the cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("broker: cluster needs at least one node")
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 1
+	}
+	if cfg.ReplicationFactor > cfg.Nodes {
+		cfg.ReplicationFactor = cfg.Nodes
+	}
+	nodes := make([]*Node, cfg.Nodes)
+	for i := range nodes {
+		n, err := NewNode(NodeConfig{
+			ID:          i,
+			Broker:      cfg.Broker,
+			AckTimeout:  cfg.AckTimeout,
+			ReplicaPoll: cfg.ReplicaPoll,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
+	}
+	peers := make(map[int]ClusterPeer, cfg.Nodes)
+	for i, n := range nodes {
+		peers[i] = n
+	}
+	for _, n := range nodes {
+		for id, p := range peers {
+			if id != n.id {
+				n.SetPeer(id, p)
+			}
+		}
+	}
+	ctrl, err := NewController(ControllerConfig{
+		Peers:             peers,
+		ReplicationFactor: cfg.ReplicationFactor,
+		HeartbeatEvery:    cfg.HeartbeatEvery,
+		Coordinator:       nodes[0].Broker(),
+		Metrics:           cfg.Broker.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nodes[0].AttachController(ctrl)
+	ctrl.Start()
+	return &Cluster{cfg: cfg, nodes: nodes, ctrl: ctrl}, nil
+}
+
+// CreateTopic places and creates a replicated topic cluster-wide.
+func (c *Cluster) CreateTopic(name string, partitions int) error {
+	return c.ctrl.CreateTopic(name, partitions)
+}
+
+// DeleteTopic removes a topic cluster-wide.
+func (c *Cluster) DeleteTopic(name string) error {
+	return c.ctrl.DeleteTopic(name)
+}
+
+// Client returns a partition-aware Transport over the cluster. retry
+// nil uses the failover-sized default policy.
+func (c *Cluster) Client(retry *resilience.Retry) (*ClusterClient, error) {
+	links := make([]ClusterTransport, len(c.nodes))
+	for i, n := range c.nodes {
+		links[i] = n
+	}
+	return NewClusterClient(links, retry)
+}
+
+// Node returns the node with the given id.
+func (c *Cluster) Node(id int) (*Node, error) {
+	if id < 0 || id >= len(c.nodes) {
+		return nil, fmt.Errorf("broker: no node %d in a %d-node cluster", id, len(c.nodes))
+	}
+	return c.nodes[id], nil
+}
+
+// NodeByName resolves a fault-plan target like "node-1".
+func (c *Cluster) NodeByName(name string) (*Node, error) {
+	for _, n := range c.nodes {
+		if n.name == name {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("broker: unknown cluster node %q", name)
+}
+
+// Crash kills the named node (fault-plan target form, "node-<id>").
+func (c *Cluster) Crash(name string) error {
+	n, err := c.NodeByName(name)
+	if err != nil {
+		return err
+	}
+	n.Crash()
+	return nil
+}
+
+// Restart revives the named node.
+func (c *Cluster) Restart(name string) error {
+	n, err := c.NodeByName(name)
+	if err != nil {
+		return err
+	}
+	n.Restart()
+	return nil
+}
+
+// View returns the controller's current authoritative metadata.
+func (c *Cluster) View() ClusterView { return c.ctrl.View() }
+
+// Controller exposes the control plane (tests drive Tick directly for
+// step-determinism).
+func (c *Cluster) Controller() *Controller { return c.ctrl }
+
+// Bind registers the cluster as the handler for the injector's
+// broker-crash / broker-restart timed events, keyed by node name: a
+// FaultPlan event with Target "node-1" kills that node at its planned
+// offset, deterministically. Unknown targets are ignored (the plan
+// validated the shape; a name mismatch books as a no-op, not a panic
+// mid-experiment).
+func (c *Cluster) Bind(inj *faults.Injector) {
+	inj.Handle(faults.BrokerCrash, func(e faults.Event) { _ = c.Crash(e.Target) })
+	inj.Handle(faults.BrokerRestart, func(e faults.Event) { _ = c.Restart(e.Target) })
+}
+
+// Close shuts down the controller and every node.
+func (c *Cluster) Close() {
+	c.ctrl.Close()
+	for _, n := range c.nodes {
+		n.Close()
+	}
+}

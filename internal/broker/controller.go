@@ -1,0 +1,355 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"crayfish/internal/telemetry"
+)
+
+// ControllerConfig configures the cluster controller.
+type ControllerConfig struct {
+	// Peers links the controller to every node, keyed by node id; ids
+	// must be 0..len(Peers)-1 (partition placement is modular over the
+	// id space).
+	Peers map[int]ClusterPeer
+	// ReplicationFactor is the replica count per partition (clamped to
+	// the node count).
+	ReplicationFactor int
+	// HeartbeatEvery is the liveness sweep interval (default 1ms for
+	// in-process clusters; brokerd uses a longer wire-friendly period).
+	HeartbeatEvery time.Duration
+	// Coordinator, when set, is the consumer-group coordinator seat
+	// (node 0's local broker): every membership change bumps all group
+	// generations so consumers rebalance.
+	Coordinator *Broker
+	// Metrics publishes broker.cluster.* telemetry.
+	Metrics *telemetry.Registry
+}
+
+// Controller is the cluster's deterministic control plane — the role
+// ZooKeeper/KRaft plays for Kafka, reduced to a single seat. It owns
+// the authoritative ClusterView: it sweeps node liveness, shrinks and
+// re-expands the ISR, elects the longest-log in-sync replica when a
+// leader dies (bumping the leader epoch that fences the deposed one),
+// and pushes every change to the surviving nodes. All transitions are
+// serialized under one mutex, so concurrent failures resolve in a
+// single deterministic order.
+type Controller struct {
+	rf          int
+	nNodes      int
+	tick        time.Duration
+	coordinator *Broker
+
+	mFailovers   *telemetry.Counter
+	mLeaderEpoch *telemetry.Gauge
+	metrics      *telemetry.Registry
+
+	mu       sync.Mutex
+	peers    map[int]ClusterPeer
+	view     ClusterView
+	down     map[int]bool
+	maxEpoch int
+	started  bool
+	closed   bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewController builds a controller over the given peer set.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("broker: controller needs at least one peer")
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 1
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Millisecond
+	}
+	members := make([]int, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		if id < 0 || id >= len(cfg.Peers) {
+			return nil, fmt.Errorf("broker: controller peer ids must be 0..%d, got %d", len(cfg.Peers)-1, id)
+		}
+		members = append(members, id)
+	}
+	sort.Ints(members)
+	c := &Controller{
+		rf:           cfg.ReplicationFactor,
+		nNodes:       len(cfg.Peers),
+		tick:         cfg.HeartbeatEvery,
+		coordinator:  cfg.Coordinator,
+		mFailovers:   cfg.Metrics.Counter("broker.cluster.failovers"),
+		mLeaderEpoch: cfg.Metrics.Gauge("broker.cluster.leader_epoch"),
+		metrics:      cfg.Metrics,
+		peers:        cfg.Peers,
+		down:         make(map[int]bool),
+		stop:         make(chan struct{}),
+		view: ClusterView{
+			Version:    1,
+			Members:    members,
+			Partitions: make(map[string][]PartitionState),
+		},
+	}
+	return c, nil
+}
+
+// Start launches the liveness sweep loop.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.started || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.run()
+}
+
+// Close stops the sweep loop and waits for it.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.stop)
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+func (c *Controller) run() {
+	defer c.wg.Done()
+	for {
+		t := time.NewTimer(c.tick)
+		select {
+		case <-c.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		c.Tick()
+	}
+}
+
+// View returns a copy of the current authoritative metadata.
+func (c *Controller) View() ClusterView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view.Clone()
+}
+
+// CreateTopic places a topic's partitions across the cluster —
+// round-robin preferred leaders, the next rf−1 nodes as followers —
+// installs the partition states in the view, and pushes it, which makes
+// every node materialize its local replica log. Implements the
+// controller half of Transport topic admin.
+func (c *Controller) CreateTopic(name string, partitions int) error {
+	if partitions <= 0 {
+		return fmt.Errorf("broker: topic %q needs at least one partition", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if _, ok := c.view.Partitions[name]; ok {
+		return fmt.Errorf("%w: %q", ErrTopicExists, name)
+	}
+	states := make([]PartitionState, partitions)
+	for p := range states {
+		replicas := placement(p, c.nNodes, c.rf)
+		leader := -1
+		var isr []int
+		for _, id := range replicas {
+			if c.down[id] {
+				continue
+			}
+			isr = insertSorted(isr, id)
+			if leader < 0 {
+				leader = id
+			}
+		}
+		states[p] = PartitionState{Leader: leader, Epoch: 1, Replicas: replicas, ISR: isr}
+		c.noteLeaderLocked(TopicPartition{Topic: name, Partition: p}, leader)
+	}
+	if c.maxEpoch < 1 {
+		c.maxEpoch = 1
+		c.mLeaderEpoch.Set(1)
+	}
+	c.view.Partitions[name] = states
+	c.view.Version++
+	c.pushViewLocked()
+	return nil
+}
+
+// DeleteTopic removes a topic cluster-wide via a view push.
+func (c *Controller) DeleteTopic(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if _, ok := c.view.Partitions[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTopic, name)
+	}
+	delete(c.view.Partitions, name)
+	c.view.Version++
+	c.pushViewLocked()
+	return nil
+}
+
+// Tick runs one liveness sweep: ping every node, apply death and
+// return transitions, and push the view when anything changed. The
+// background loop calls it periodically; tests call it directly for
+// step-by-step determinism.
+func (c *Controller) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	ids := make([]int, 0, len(c.peers))
+	for id := range c.peers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	changed := false
+	for _, id := range ids {
+		err := c.peers[id].Ping()
+		alive := err == nil
+		switch {
+		case !alive && !c.down[id]:
+			c.down[id] = true
+			c.handleDeathLocked(id)
+			changed = true
+		case alive && c.down[id]:
+			delete(c.down, id)
+			c.handleReturnLocked(id)
+			changed = true
+		}
+	}
+	if changed {
+		c.view.Version++
+		c.pushViewLocked()
+		if c.coordinator != nil {
+			c.coordinator.RebalanceGroups()
+		}
+	}
+}
+
+// handleDeathLocked removes a dead node from membership and every ISR,
+// electing a replacement leader for each partition it led. Caller
+// holds c.mu.
+func (c *Controller) handleDeathLocked(id int) {
+	c.view.Members = removeInt(c.view.Members, id)
+	topics := make([]string, 0, len(c.view.Partitions))
+	for t := range c.view.Partitions {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+	for _, topic := range topics {
+		states := c.view.Partitions[topic]
+		for p := range states {
+			st := &states[p]
+			if st.Leader == id {
+				st.ISR = removeInt(st.ISR, id)
+				st.Leader = c.electLocked(TopicPartition{Topic: topic, Partition: p}, st.ISR)
+				st.Epoch++
+				if st.Epoch > c.maxEpoch {
+					c.maxEpoch = st.Epoch
+					c.mLeaderEpoch.Set(int64(c.maxEpoch))
+				}
+				c.mFailovers.Inc()
+				c.noteLeaderLocked(TopicPartition{Topic: topic, Partition: p}, st.Leader)
+			} else if containsInt(st.ISR, id) {
+				// A follower died: shrink the ISR so the leader's
+				// high-watermark derivation stops waiting on it.
+				st.ISR = removeInt(st.ISR, id)
+			}
+		}
+	}
+}
+
+// electLocked picks the new leader from the surviving in-sync set: the
+// replica with the longest log, ties to the lowest id. Every ISR
+// member stores the full acked prefix (that is what the high-watermark
+// certifies), so any choice preserves acks; the longest log also
+// preserves the most unacked records and lets every other ISR member
+// resume as a clean prefix without truncation. Returns -1 when no
+// in-sync replica survives (partition offline until one returns).
+// Caller holds c.mu.
+func (c *Controller) electLocked(tp TopicPartition, isr []int) int {
+	winner, winnerEnd := -1, int64(-1)
+	for _, id := range isr { // isr is sorted: ties resolve to lowest id
+		if c.down[id] {
+			continue
+		}
+		end, err := c.peers[id].LogEnd(tp)
+		if err != nil {
+			continue
+		}
+		if end > winnerEnd {
+			winner, winnerEnd = id, end
+		}
+	}
+	return winner
+}
+
+// handleReturnLocked re-admits a restarted node: back into membership,
+// back into the ISR of every partition it replicates, and — when it
+// revives an offline partition — elected leader. Immediate ISR
+// re-entry is the conservative choice: the high-watermark stalls until
+// the returner's first replica fetch announces its (crash-surviving)
+// log end, so acks can only be over-protected, never lost. Caller
+// holds c.mu.
+func (c *Controller) handleReturnLocked(id int) {
+	c.view.Members = insertSorted(c.view.Members, id)
+	topics := make([]string, 0, len(c.view.Partitions))
+	for t := range c.view.Partitions {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+	for _, topic := range topics {
+		states := c.view.Partitions[topic]
+		for p := range states {
+			st := &states[p]
+			if !containsInt(st.Replicas, id) {
+				continue
+			}
+			st.ISR = insertSorted(st.ISR, id)
+			if st.Leader < 0 {
+				tp := TopicPartition{Topic: topic, Partition: p}
+				st.Leader = c.electLocked(tp, st.ISR)
+				st.Epoch++
+				if st.Epoch > c.maxEpoch {
+					c.maxEpoch = st.Epoch
+					c.mLeaderEpoch.Set(int64(c.maxEpoch))
+				}
+				c.mFailovers.Inc()
+				c.noteLeaderLocked(tp, st.Leader)
+			}
+		}
+	}
+}
+
+// pushViewLocked sends the current view to every live node. A push
+// that fails (the node died since its last ping) is dropped; the next
+// sweep handles the death. Caller holds c.mu.
+func (c *Controller) pushViewLocked() {
+	for _, id := range c.view.Members {
+		_ = c.peers[id].PushView(c.view.Clone())
+	}
+}
+
+// noteLeaderLocked publishes one partition's current leader id as a
+// broker.cluster.leader.<topic>-<partition> gauge. Caller holds c.mu.
+func (c *Controller) noteLeaderLocked(tp TopicPartition, leader int) {
+	c.metrics.Gauge("broker.cluster.leader." + tpKey(tp)).Set(int64(leader))
+}

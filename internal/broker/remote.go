@@ -201,12 +201,33 @@ func (rc *RemoteClient) call(req *wireRequest) (*wireResponse, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		if resp.Rebalance {
-			return resp, ErrRebalance
-		}
-		return resp, errors.New(resp.Err)
+		return resp, decodeWireError(resp)
 	}
 	return resp, nil
+}
+
+// decodeWireError reconstructs the typed error a broker or cluster node
+// encoded into resp: ErrRebalance and NotLeaderError keep their errors.Is
+// / errors.As identity, and Retryable restores the resilience marking so
+// cluster clients re-route across the wire exactly as in-process.
+func decodeWireError(resp *wireResponse) error {
+	var err error
+	switch {
+	case resp.Rebalance:
+		err = ErrRebalance
+	case resp.NotLeader != nil:
+		err = &NotLeaderError{
+			TP:     TopicPartition{Topic: resp.NotLeader.Topic, Partition: resp.NotLeader.Partition},
+			Leader: resp.NotLeader.Leader,
+			Epoch:  resp.NotLeader.Epoch,
+		}
+	default:
+		err = errors.New(resp.Err)
+	}
+	if resp.Retryable {
+		err = resilience.MarkRetryable(err)
+	}
+	return err
 }
 
 // callOnce is one wire round trip; every failure is a transport fault.
@@ -338,4 +359,61 @@ func (rc *RemoteClient) CommittedOffset(group string, tp TopicPartition) (int64,
 	return resp.Offset, nil
 }
 
-var _ Transport = (*RemoteClient)(nil)
+// Ping implements ClusterPeer: a liveness probe against a cluster node.
+func (rc *RemoteClient) Ping() error {
+	_, err := rc.call(&wireRequest{Op: "ping"})
+	return err
+}
+
+// PushView implements ClusterPeer: the controller installs metadata on
+// a remote node.
+func (rc *RemoteClient) PushView(v ClusterView) error {
+	_, err := rc.call(&wireRequest{Op: "push_view", View: &v})
+	return err
+}
+
+// ReplicaFetch implements ClusterPeer: a follower pulls records from
+// the remote leader.
+func (rc *RemoteClient) ReplicaFetch(req ReplicaFetchRequest) (ReplicaFetchResponse, error) {
+	resp, err := rc.call(&wireRequest{
+		Op:        "replica_fetch",
+		Topic:     req.Topic,
+		Partition: req.Partition,
+		Offset:    req.Offset,
+		Max:       req.Max,
+		From:      req.From,
+		Epoch:     req.Epoch,
+	})
+	if err != nil {
+		return ReplicaFetchResponse{}, err
+	}
+	return ReplicaFetchResponse{Records: fromWire(resp.Records), HW: resp.HW, Epoch: resp.Epoch}, nil
+}
+
+// LogEnd implements ClusterPeer: the raw local log end (not the
+// high-watermark) the controller compares during election.
+func (rc *RemoteClient) LogEnd(tp TopicPartition) (int64, error) {
+	resp, err := rc.call(&wireRequest{Op: "log_end", Topic: tp.Topic, Partition: tp.Partition})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+// ClusterView implements ClusterTransport: cluster metadata discovery.
+func (rc *RemoteClient) ClusterView() (ClusterView, error) {
+	resp, err := rc.call(&wireRequest{Op: "metadata"})
+	if err != nil {
+		return ClusterView{}, err
+	}
+	if resp.View == nil {
+		return ClusterView{}, fmt.Errorf("broker: metadata response missing view")
+	}
+	return *resp.View, nil
+}
+
+var (
+	_ Transport        = (*RemoteClient)(nil)
+	_ ClusterPeer      = (*RemoteClient)(nil)
+	_ ClusterTransport = (*RemoteClient)(nil)
+)

@@ -10,6 +10,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"crayfish/internal/resilience"
 )
 
 // wire protocol: each frame is a uint32 big-endian length followed by a
@@ -20,7 +22,9 @@ import (
 // envelope overhead).
 const maxFrameSize = 96 << 20
 
-// wireRequest is the client -> server frame.
+// wireRequest is the client -> server frame. From/Epoch/View serve the
+// cluster ops (replica_fetch, push_view); single-broker traffic leaves
+// them zero.
 type wireRequest struct {
 	Op         string          `json:"op"`
 	Topic      string          `json:"topic,omitempty"`
@@ -35,16 +39,35 @@ type wireRequest struct {
 	Records    []wireRecord    `json:"records,omitempty"`
 	TP         *TopicPartition `json:"tp,omitempty"`
 	Fetches    []FetchRequest  `json:"fetches,omitempty"`
+	From       int             `json:"from,omitempty"`
+	Epoch      int             `json:"epoch,omitempty"`
+	View       *ClusterView    `json:"view,omitempty"`
 }
 
-// wireResponse is the server -> client frame.
+// wireNotLeader carries a NotLeaderError's re-route hint across the
+// wire so the cluster client can reconstruct the typed error.
+type wireNotLeader struct {
+	Topic     string `json:"topic"`
+	Partition int    `json:"partition"`
+	Leader    int    `json:"leader"`
+	Epoch     int    `json:"epoch"`
+}
+
+// wireResponse is the server -> client frame. Retryable preserves the
+// resilience marking across the wire the way Rebalance preserves
+// ErrRebalance; NotLeader/View/HW/Epoch serve the cluster ops.
 type wireResponse struct {
-	Err        string       `json:"err,omitempty"`
-	Rebalance  bool         `json:"rebalance,omitempty"`
-	Offset     int64        `json:"offset,omitempty"`
-	Count      int          `json:"count,omitempty"`
-	Records    []wireRecord `json:"records,omitempty"`
-	Assignment *Assignment  `json:"assignment,omitempty"`
+	Err        string         `json:"err,omitempty"`
+	Rebalance  bool           `json:"rebalance,omitempty"`
+	Retryable  bool           `json:"retryable,omitempty"`
+	NotLeader  *wireNotLeader `json:"not_leader,omitempty"`
+	Offset     int64          `json:"offset,omitempty"`
+	Count      int            `json:"count,omitempty"`
+	Records    []wireRecord   `json:"records,omitempty"`
+	Assignment *Assignment    `json:"assignment,omitempty"`
+	View       *ClusterView   `json:"view,omitempty"`
+	HW         int64          `json:"hw,omitempty"`
+	Epoch      int            `json:"epoch,omitempty"`
 }
 
 // wireRecord is the JSON form of a Record; []byte fields use JSON's
@@ -104,9 +127,16 @@ func readFrame(r io.Reader, v any) error {
 	return json.Unmarshal(body, v)
 }
 
-// Server exposes a Broker over TCP.
+// requestHandler maps one wire request to its response; the Server is
+// generic over it so the same listener/framing serves a standalone
+// Broker or a cluster Node.
+type requestHandler interface {
+	serve(req *wireRequest) *wireResponse
+}
+
+// Server exposes a request handler over TCP.
 type Server struct {
-	b  *Broker
+	h  requestHandler
 	ln net.Listener
 
 	mu     sync.Mutex
@@ -118,11 +148,23 @@ type Server struct {
 // Serve starts a TCP server for the broker on addr (e.g. "127.0.0.1:0")
 // and returns once the listener is bound.
 func Serve(b *Broker, addr string) (*Server, error) {
+	return serveHandler(brokerHandler{b: b}, addr)
+}
+
+// ServeNode starts a TCP server for a cluster node: the standard
+// Transport ops gated by the node's leadership/high-watermark rules,
+// plus the cluster ops (ping, metadata, push_view, log_end,
+// replica_fetch).
+func ServeNode(n *Node, addr string) (*Server, error) {
+	return serveHandler(nodeHandler{n: n}, addr)
+}
+
+func serveHandler(h requestHandler, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{b: b, ln: ln, conns: make(map[net.Conn]bool)}
+	s := &Server{h: h, ln: ln, conns: make(map[net.Conn]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -179,7 +221,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err := readFrame(br, &req); err != nil {
 			return
 		}
-		resp := s.dispatch(&req)
+		resp := s.h.serve(&req)
 		if err := writeFrame(bw, resp); err != nil {
 			return
 		}
@@ -189,64 +231,76 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(req *wireRequest) *wireResponse {
-	resp := &wireResponse{}
-	fail := func(err error) *wireResponse {
-		resp.Err = err.Error()
-		resp.Rebalance = errors.Is(err, ErrRebalance)
-		return resp
+// failResp encodes an error into a response, preserving the typed
+// verdicts clients reconstruct: rebalance, retryability, and the
+// NotLeader re-route hint.
+func failResp(resp *wireResponse, err error) *wireResponse {
+	resp.Err = err.Error()
+	resp.Rebalance = errors.Is(err, ErrRebalance)
+	resp.Retryable = resilience.IsRetryable(err)
+	var nl *NotLeaderError
+	if errors.As(err, &nl) {
+		resp.NotLeader = &wireNotLeader{Topic: nl.TP.Topic, Partition: nl.TP.Partition, Leader: nl.Leader, Epoch: nl.Epoch}
 	}
+	return resp
+}
+
+// dispatchTransport serves the standard Transport ops against t — the
+// shared core of the standalone-broker and cluster-node handlers.
+func dispatchTransport(t Transport, req *wireRequest) *wireResponse {
+	resp := &wireResponse{}
+	fail := func(err error) *wireResponse { return failResp(resp, err) }
 	switch req.Op {
 	case "create_topic":
-		if err := s.b.CreateTopic(req.Topic, req.Partitions); err != nil {
+		if err := t.CreateTopic(req.Topic, req.Partitions); err != nil {
 			return fail(err)
 		}
 	case "delete_topic":
-		if err := s.b.DeleteTopic(req.Topic); err != nil {
+		if err := t.DeleteTopic(req.Topic); err != nil {
 			return fail(err)
 		}
 	case "partitions":
-		n, err := s.b.Partitions(req.Topic)
+		n, err := t.Partitions(req.Topic)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Count = n
 	case "produce":
-		off, err := s.b.Produce(req.Topic, req.Partition, fromWire(req.Records))
+		off, err := t.Produce(req.Topic, req.Partition, fromWire(req.Records))
 		if err != nil {
 			return fail(err)
 		}
 		resp.Offset = off
 	case "fetch":
-		recs, err := s.b.Fetch(req.Topic, req.Partition, req.Offset, req.Max)
+		recs, err := t.Fetch(req.Topic, req.Partition, req.Offset, req.Max)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Records = toWire(recs)
 	case "fetch_multi":
-		recs, err := s.b.FetchMulti(req.Topic, req.Fetches, req.Max)
+		recs, err := t.FetchMulti(req.Topic, req.Fetches, req.Max)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Records = toWire(recs)
 	case "end_offset":
-		off, err := s.b.EndOffset(req.Topic, req.Partition)
+		off, err := t.EndOffset(req.Topic, req.Partition)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Offset = off
 	case "join_group":
-		a, err := s.b.JoinGroup(req.Group, req.Topics)
+		a, err := t.JoinGroup(req.Group, req.Topics)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Assignment = &a
 	case "leave_group":
-		if err := s.b.LeaveGroup(req.Group, req.Member); err != nil {
+		if err := t.LeaveGroup(req.Group, req.Member); err != nil {
 			return fail(err)
 		}
 	case "fetch_assignment":
-		a, err := s.b.FetchAssignment(req.Group, req.Member, req.Generation)
+		a, err := t.FetchAssignment(req.Group, req.Member, req.Generation)
 		resp.Assignment = &a
 		if err != nil {
 			return fail(err)
@@ -255,20 +309,79 @@ func (s *Server) dispatch(req *wireRequest) *wireResponse {
 		if req.TP == nil {
 			return fail(fmt.Errorf("broker: commit_offset missing tp"))
 		}
-		if err := s.b.CommitOffset(req.Group, *req.TP, req.Offset); err != nil {
+		if err := t.CommitOffset(req.Group, *req.TP, req.Offset); err != nil {
 			return fail(err)
 		}
 	case "committed_offset":
 		if req.TP == nil {
 			return fail(fmt.Errorf("broker: committed_offset missing tp"))
 		}
-		off, err := s.b.CommittedOffset(req.Group, *req.TP)
+		off, err := t.CommittedOffset(req.Group, *req.TP)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Offset = off
 	default:
 		return fail(fmt.Errorf("broker: unknown op %q", req.Op))
+	}
+	return resp
+}
+
+// brokerHandler serves a standalone Broker.
+type brokerHandler struct{ b *Broker }
+
+func (h brokerHandler) serve(req *wireRequest) *wireResponse {
+	return dispatchTransport(h.b, req)
+}
+
+// nodeHandler serves a cluster Node: the cluster ops plus the standard
+// Transport ops routed through the node's leadership gates.
+type nodeHandler struct{ n *Node }
+
+func (h nodeHandler) serve(req *wireRequest) *wireResponse {
+	resp := &wireResponse{}
+	fail := func(err error) *wireResponse { return failResp(resp, err) }
+	switch req.Op {
+	case "ping":
+		if err := h.n.Ping(); err != nil {
+			return fail(err)
+		}
+	case "metadata":
+		v, err := h.n.ClusterView()
+		if err != nil {
+			return fail(err)
+		}
+		resp.View = &v
+	case "push_view":
+		if req.View == nil {
+			return fail(fmt.Errorf("broker: push_view missing view"))
+		}
+		if err := h.n.PushView(*req.View); err != nil {
+			return fail(err)
+		}
+	case "log_end":
+		off, err := h.n.LogEnd(TopicPartition{Topic: req.Topic, Partition: req.Partition})
+		if err != nil {
+			return fail(err)
+		}
+		resp.Offset = off
+	case "replica_fetch":
+		r, err := h.n.ReplicaFetch(ReplicaFetchRequest{
+			Topic:     req.Topic,
+			Partition: req.Partition,
+			Offset:    req.Offset,
+			Max:       req.Max,
+			From:      req.From,
+			Epoch:     req.Epoch,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.Records = toWire(r.Records)
+		resp.HW = r.HW
+		resp.Epoch = r.Epoch
+	default:
+		return dispatchTransport(h.n, req)
 	}
 	return resp
 }

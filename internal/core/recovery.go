@@ -93,10 +93,6 @@ func (r *Runner) RunRecovery(cfg Config, plan faults.Plan) (*RecoveryResult, err
 	defer cleanup()
 	scorer = serving.Instrument(&faultScorer{inner: scorer, inj: inj}, cfg.Telemetry)
 
-	codec := r.Codec
-	if codec == nil {
-		codec = JSONCodec{}
-	}
 	bcfg := broker.DefaultConfig()
 	bcfg.Network = cfg.Network
 	bcfg.Metrics = cfg.Telemetry
@@ -107,8 +103,21 @@ func (r *Runner) RunRecovery(cfg Config, plan faults.Plan) (*RecoveryResult, err
 			return nil, err
 		}
 	}
+	return r.runRecoveryPipeline(cfg, plan, inj, transport, scorer)
+}
 
+// runRecoveryPipeline is the measurement loop shared by single-broker
+// and cluster recovery runs: launch the engine job over the prepared
+// transport (topics already created), stream the workload while the
+// injector fires, drain the backlog, and book loss, duplication, and
+// recovery timings.
+func (r *Runner) runRecoveryPipeline(cfg Config, plan faults.Plan, inj *faults.Injector, transport broker.Transport, scorer serving.Scorer) (*RecoveryResult, error) {
+	codec := r.Codec
+	if codec == nil {
+		codec = JSONCodec{}
+	}
 	engine := r.Engine
+	var err error
 	if engine == nil {
 		engine, err = sps.New(cfg.Engine)
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -181,6 +182,30 @@ func TestRecoveryTiny(t *testing.T) {
 	}
 }
 
+func TestFailoverTiny(t *testing.T) {
+	r, err := BrokerFailover(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[2] != "120" {
+			t.Fatalf("produced %q, want 120: %v", row[2], row)
+		}
+		if row[3] != "0" {
+			t.Fatalf("acked records lost across the leader crash: %v", row)
+		}
+		if f, err := strconv.Atoi(row[4]); err != nil || f < 1 {
+			t.Fatalf("failovers %q, want >= 1: %v", row[4], row)
+		}
+		if row[8] != "byte-identical" {
+			t.Fatalf("fault-log replay diverged: %v", row)
+		}
+	}
+}
+
 func TestScenariosTiny(t *testing.T) {
 	r, err := ScenarioSuite(tinyOptions())
 	if err != nil {
@@ -218,7 +243,7 @@ func TestScenariosTiny(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	defs := All()
-	if len(defs) != 22 {
+	if len(defs) != 23 {
 		t.Fatalf("registry has %d experiments", len(defs))
 	}
 	seen := map[string]bool{}

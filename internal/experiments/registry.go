@@ -36,6 +36,7 @@ func All() []Definition {
 		{"ablation-network", "Loopback vs modelled LAN", AblationNetworkRealism},
 		{"ablation-dynbatch", "Dynamic micro-batching in the scoring operator", AblationDynamicBatching},
 		{"recovery", "Fault injection and recovery", RecoveryFaultInjection},
+		{"broker-failover", "Replicated-broker leader failover", BrokerFailover},
 		{"scenarios", "MLPerf-style scenario suite and server capacity sweep", ScenarioSuite},
 	}
 }

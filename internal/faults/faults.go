@@ -60,6 +60,15 @@ const (
 	// SlowReplica adds the event's Slowdown to every scorer call for
 	// the event's Duration window.
 	SlowReplica Kind = "slow-replica"
+	// BrokerCrash kills the named broker node (Event.Target, e.g.
+	// "node-1"; registered handler — broker.Cluster.Bind). A positive
+	// Duration makes it a crash *window*: the scheduler synthesises the
+	// matching BrokerRestart at At+Duration, so one event expresses
+	// "node-1 is down from 100ms to 400ms" deterministically.
+	BrokerCrash Kind = "broker-crash"
+	// BrokerRestart brings the named broker node back up (registered
+	// handler).
+	BrokerRestart Kind = "broker-restart"
 )
 
 // Rule is one message-fault clause: apply Kind to records FromSeq ≤ seq
@@ -124,7 +133,7 @@ func (p Plan) Validate() error {
 	}
 	for i, e := range p.Events {
 		switch e.Kind {
-		case Crash, Restart, ScorerError, SlowReplica:
+		case Crash, Restart, ScorerError, SlowReplica, BrokerCrash, BrokerRestart:
 		default:
 			return fmt.Errorf("faults: event %d: kind %q is not a timed event", i, e.Kind)
 		}
@@ -133,6 +142,12 @@ func (p Plan) Validate() error {
 		}
 		if (e.Kind == ScorerError || e.Kind == SlowReplica) && e.Duration <= 0 {
 			return fmt.Errorf("faults: event %d: %s needs a positive Duration", i, e.Kind)
+		}
+		if (e.Kind == BrokerCrash || e.Kind == BrokerRestart) && e.Target == "" {
+			return fmt.Errorf("faults: event %d: %s needs a Target naming the broker node", i, e.Kind)
+		}
+		if e.Kind == BrokerRestart && e.Duration != 0 {
+			return fmt.Errorf("faults: event %d: broker-restart is a point event; put the window Duration on the broker-crash", i)
 		}
 	}
 	return nil
@@ -278,8 +293,7 @@ func (i *Injector) Start() {
 	}
 	i.started = true
 	i.start = i.clock()
-	timed := make([]Event, len(i.plan.Events))
-	copy(timed, i.plan.Events)
+	timed := expandEvents(i.plan.Events)
 	sort.SliceStable(timed, func(a, b int) bool { return timed[a].At < timed[b].At })
 	// Timed events are logged up front with planned offsets: the log is
 	// a property of the plan, not of scheduler timing.
@@ -299,13 +313,41 @@ func (i *Injector) Stop() {
 	i.wg.Wait()
 }
 
-// schedule fires Crash/Restart handlers at their offsets. ScorerError
-// and SlowReplica need no firing: their windows are evaluated lazily
-// against the clock by ScorerFault / ReplicaDelay.
+// expandEvents rewrites windowed broker-crash events (Duration > 0)
+// into the crash plus a synthesised broker-restart at At+Duration — a
+// pure function of the plan, so the expanded schedule (and therefore
+// the log) is identical across runs.
+func expandEvents(events []Event) []Event {
+	out := make([]Event, 0, len(events))
+	for _, ev := range events {
+		if ev.Kind == BrokerCrash && ev.Duration > 0 {
+			restart := ev
+			restart.Kind = BrokerRestart
+			restart.At = ev.At + ev.Duration
+			restart.Duration = 0
+			ev.Duration = 0
+			out = append(out, ev, restart)
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// handledEvent reports whether the scheduler fires registered handlers
+// for the kind; the remaining timed kinds (ScorerError, SlowReplica)
+// need no firing — their windows are evaluated lazily against the clock
+// by ScorerFault / ReplicaDelay.
+func handledEvent(k Kind) bool {
+	return k == Crash || k == Restart || k == BrokerCrash || k == BrokerRestart
+}
+
+// schedule fires Crash/Restart and BrokerCrash/BrokerRestart handlers
+// at their offsets.
 func (i *Injector) schedule(timed []Event) {
 	defer i.wg.Done()
 	for _, ev := range timed {
-		if ev.Kind != Crash && ev.Kind != Restart {
+		if !handledEvent(ev.Kind) {
 			continue
 		}
 		remaining := ev.At - i.clock().Sub(i.start)

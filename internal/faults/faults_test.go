@@ -43,6 +43,124 @@ func TestPlanValidate(t *testing.T) {
 	}
 }
 
+func TestBrokerEventValidation(t *testing.T) {
+	bad := []Plan{
+		// Broker events must name the node they act on.
+		{Events: []Event{{Kind: BrokerCrash, At: time.Millisecond}}},
+		{Events: []Event{{Kind: BrokerRestart, At: time.Millisecond}}},
+		// Restarts are point events; the window lives on the crash.
+		{Events: []Event{{Kind: BrokerRestart, Target: "node-1", Duration: time.Millisecond}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated but should not", i)
+		}
+	}
+	good := Plan{Events: []Event{
+		{At: time.Millisecond, Kind: BrokerCrash, Target: "node-1", Duration: 4 * time.Millisecond},
+		{At: 10 * time.Millisecond, Kind: BrokerCrash, Target: "node-2"},
+		{At: 12 * time.Millisecond, Kind: BrokerRestart, Target: "node-2"},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrokerCrashWindowExpansion(t *testing.T) {
+	// A windowed broker-crash synthesises its own restart at
+	// At+Duration; an explicit crash/restart pair passes through.
+	inj, err := New(Plan{Events: []Event{
+		{At: time.Millisecond, Kind: BrokerCrash, Target: "node-1", Duration: 4 * time.Millisecond},
+		{At: 2 * time.Millisecond, Kind: BrokerCrash, Target: "node-2"},
+		{At: 3 * time.Millisecond, Kind: BrokerRestart, Target: "node-2"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var fired []string
+	record := func(e Event) {
+		mu.Lock()
+		fired = append(fired, string(e.Kind)+":"+e.Target)
+		mu.Unlock()
+	}
+	done := make(chan struct{})
+	inj.Handle(BrokerCrash, record)
+	inj.Handle(BrokerRestart, func(e Event) {
+		record(e)
+		if e.Target == "node-1" { // the synthesised event fires last (t=5ms)
+			close(done)
+		}
+	})
+	inj.Start()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("broker events never fired")
+	}
+	inj.Stop()
+	mu.Lock()
+	got := fmt.Sprint(fired)
+	mu.Unlock()
+	want := fmt.Sprint([]string{
+		"broker-crash:node-1", "broker-crash:node-2",
+		"broker-restart:node-2", "broker-restart:node-1",
+	})
+	if got != want {
+		t.Fatalf("fired = %v, want %v", got, want)
+	}
+	counts := inj.Counts()
+	if counts[BrokerCrash] != 2 || counts[BrokerRestart] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Both the planned crash and the synthesised restart appear in the
+	// canonical log with their planned offsets.
+	log := FormatLog(inj.Log())
+	for _, needle := range []string{"broker-crash", "broker-restart"} {
+		if !containsStr(log, needle) {
+			t.Fatalf("log missing %q:\n%s", needle, log)
+		}
+	}
+}
+
+func TestBrokerCrashWindowDeterministicLog(t *testing.T) {
+	plan := Plan{
+		Seed: 3,
+		Events: []Event{
+			{At: time.Millisecond, Kind: BrokerCrash, Target: "node-1", Duration: 3 * time.Millisecond},
+		},
+	}
+	if got, want := plan.LastWindowEnd(), 4*time.Millisecond; got != want {
+		t.Fatalf("LastWindowEnd = %v, want %v", got, want)
+	}
+	run := func() string {
+		inj, err := New(plan, WithClock(func() time.Time { return time.Time{} }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.Start()
+		inj.Stop()
+		return FormatLog(inj.Log())
+	}
+	log1, log2 := run(), run()
+	if log1 != log2 {
+		t.Fatalf("fault logs differ:\n%s\nvs\n%s", log1, log2)
+	}
+	if len(log1) == 0 {
+		t.Fatal("empty fault log")
+	}
+}
+
+// containsStr avoids importing strings for one call.
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
 func TestMessageVerdicts(t *testing.T) {
 	inj, err := New(Plan{
 		Seed: 42,

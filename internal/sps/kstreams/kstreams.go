@@ -71,18 +71,38 @@ func (e *Engine) Run(spec sps.JobSpec) (sps.Job, error) {
 		// Streams itself.
 		threads = parts
 	}
+	// Every thread's consumer joins the group before any thread polls:
+	// each join bumps the group generation, and a thread polling under
+	// an assignment about to be rebalanced away would re-deliver its
+	// uncommitted records to the new owner (at-least-once duplicates
+	// before the topology even settles).
+	type pair struct {
+		consumer *broker.Consumer
+		producer *broker.AsyncProducer
+	}
+	pairs := make([]pair, 0, threads)
+	fail := func(err error) (sps.Job, error) {
+		for _, p := range pairs {
+			_ = p.consumer.Close()
+			_ = p.producer.Close()
+		}
+		return nil, err
+	}
 	for i := 0; i < threads; i++ {
 		consumer, err := broker.NewGroupConsumer(spec.Transport, spec.Group, spec.InputTopic)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		producer, err := broker.NewAsyncProducer(spec.Transport, spec.OutputTopic, e.PollRecords*2)
 		if err != nil {
 			_ = consumer.Close()
-			return nil, err
+			return fail(err)
 		}
+		pairs = append(pairs, pair{consumer, producer})
+	}
+	for _, p := range pairs {
 		j.wg.Add(1)
-		go j.streamThread(consumer, producer)
+		go j.streamThread(p.consumer, p.producer)
 	}
 	return j, nil
 }
@@ -134,6 +154,17 @@ func (j *job) streamThread(consumer *broker.Consumer, producer *broker.AsyncProd
 		if len(recs) == 0 {
 			time.Sleep(j.e.IdleBackoff)
 			continue
+		}
+		// Re-check after the poll: a peer thread that saw the stop may
+		// already have closed its consumer, and the resulting rebalance
+		// makes this poll re-deliver the peer's uncommitted records.
+		// They are uncommitted either way — drop them rather than
+		// double-process on the way out (the leave happens-after the
+		// stop closed, so this check always catches the re-delivery).
+		select {
+		case <-j.stopCh:
+			return
+		default:
 		}
 		stages.In.Add(int64(len(recs)))
 		// The whole poll goes through TransformMany: with batching

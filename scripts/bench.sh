@@ -20,7 +20,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_inference.json}"
 
 go test -run NONE -benchmem -benchtime "$BENCHTIME" \
-	-bench 'MatMulBlocked128|Conv2D$|ConvDirectVsWinograd|PlanForward|UnplannedForward|ScoreResNet|ScoreFFNN|ScoreBatchedVsUnbatched|ServerCapacitySweep$' \
+	-bench 'MatMulBlocked128|Conv2D$|ConvDirectVsWinograd|PlanForward|UnplannedForward|ScoreResNet|ScoreFFNN|ScoreBatchedVsUnbatched|ServerCapacitySweep$|BrokerFailover$' \
 	./internal/tensor/ ./internal/model/ ./internal/serving/embedded/ ./internal/serving/external/ . \
 	| awk -v benchtime="$BENCHTIME" '
 	/^pkg:/ { pkg = $2 }
@@ -31,6 +31,7 @@ go test -run NONE -benchmem -benchtime "$BENCHTIME" \
 			if ($i == "B/op") bytes = $(i - 1)
 			if ($i == "allocs/op") allocs = $(i - 1)
 			if ($i == "capacity_rps") cap = $(i - 1)
+			if ($i == "recovery_ms") ttr = $(i - 1)
 		}
 		if (n++) printf ",\n"
 		printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", pkg, name, $2, ns, bytes, allocs
@@ -54,6 +55,13 @@ go test -run NONE -benchmem -benchtime "$BENCHTIME" \
 		# meeting the p99 bound; docs/SCENARIOS.md).
 		if (cap > 0) {
 			printf "  \"server_capacity_rps\": %s,\n", cap
+		}
+		# Leader-failover recovery on the replicated cluster: time from
+		# the crash window closing to a fully caught-up output, with zero
+		# acked-record loss asserted inside the benchmark
+		# (docs/CLUSTER.md).
+		if (ttr > 0) {
+			printf "  \"failover_recovery_ms\": %s,\n", ttr
 		}
 		printf "  \"benchtime\": \"%s\"\n}\n", benchtime
 	}

@@ -50,6 +50,14 @@ go test -race -count=1 -run 'TestLoadPolicyAliases|TestRunScenario' ./internal/c
 go test -race -count=1 \
 	-run 'TestCFG|TestForward|TestSuiteMatchesFixtureMarkers|TestEveryAnalyzerCatchesItsSeed|TestDirective|TestParallelLoadMatchesSerialView' \
 	./internal/analysis/
+# Cluster conformance (docs/CLUSTER.md): a leader kill mid-produce must
+# lose zero acked records, a follower kill must be client-invisible, and
+# a broker-membership rebalance must not double-consume any offset —
+# in-process and again over real TCP with torn-frame chaos. Replication
+# is all cross-goroutine (fetchers, ack waiters, the controller sweep),
+# so this runs race-enabled and by name; the clustertest binary also
+# leak-checks every node, server, and client join.
+go test -race -count=1 -run 'TestCluster' ./internal/broker/ ./internal/broker/clustertest/
 go test -race ./...
 CRAYFISH_BENCH_SCALE=0.05 go test -run NONE -bench . -benchtime=1x .
 # Inference microbenchmarks at smoke scale: validates the harness and the

@@ -1,6 +1,7 @@
 package crayfish_test
 
 import (
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -72,6 +73,30 @@ func TestRunTelemetryContract(t *testing.T) {
 	}
 	recSnap := recRes.Result.Telemetry
 
+	// The broker.cluster.* family only exists on replicated runs, so a
+	// fourth tiny run drives a 3-node cluster through a leader crash:
+	// node-1 leads one partition per topic under round-robin placement,
+	// so its death forces real elections and moves the failover counter.
+	clReg := crayfish.NewTelemetry()
+	clCfg := cfg
+	clCfg.Telemetry = clReg
+	clCfg.Partitions = 2
+	clCfg.Workload.MaxEvents = 60
+	clCfg.Workload.Duration = time.Second
+	clRes, err := crayfish.RunClusterRecovery(clCfg, crayfish.FaultPlan{
+		Seed: 9,
+		Events: []crayfish.FaultEvent{
+			{Kind: crayfish.FaultBrokerCrash, At: 30 * time.Millisecond, Duration: 60 * time.Millisecond, Target: "node-1"},
+		},
+	}, crayfish.ClusterSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clSnap := clRes.Result.Telemetry
+	if clRes.Lost != 0 {
+		t.Errorf("cluster run lost %d acked records across the failover", clRes.Lost)
+	}
+
 	// scenario.verdict only exists on scenario-judged runs, so a third
 	// tiny run through RunScenario instantiates it (the loadgen gauges
 	// are registered by every producer run, so the clean run covers
@@ -137,6 +162,18 @@ func TestRunTelemetryContract(t *testing.T) {
 			names, from = fp, recSnap
 		} else if m.Name == "scenario.verdict" {
 			from = scSnap
+		} else if strings.HasPrefix(m.Name, "broker.cluster.") {
+			// The replication family answers from the cluster run; the
+			// leadership wildcard instantiates per topic-partition.
+			from = clSnap
+			if m.Wildcard() {
+				names = nil
+				for _, topic := range []string{"crayfish-in", "crayfish-out"} {
+					for p := 0; p < clCfg.Partitions; p++ {
+						names = append(names, fmt.Sprintf("%s%s-%d", m.Prefix(), topic, p))
+					}
+				}
+			}
 		} else if m.Wildcard() {
 			// The remaining wildcard family is the per-topic backlog;
 			// the driver's fixed topics instantiate it.
