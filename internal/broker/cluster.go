@@ -138,6 +138,12 @@ type ClusterPeer interface {
 	// LogEnd is the node's raw local log end for a partition (not the
 	// consumer-visible high-watermark) — the controller's election key.
 	LogEnd(tp TopicPartition) (int64, error)
+	// AdmitFollower asks the partition leader (at the given epoch) to
+	// re-admit a caught-up follower into its in-sync derivation. The
+	// leader answers true only when the follower's replica fetches
+	// cover the high-watermark; the controller then adds it to the
+	// view's ISR. False (no error) means "not yet" — retry next sweep.
+	AdmitFollower(tp TopicPartition, follower, epoch int) (bool, error)
 }
 
 // ClusterTransport is the client-facing surface of one cluster node:

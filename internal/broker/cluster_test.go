@@ -327,12 +327,14 @@ func TestClusterRestartCatchUp(t *testing.T) {
 	if err := c.Restart("node-2"); err != nil {
 		t.Fatal(err)
 	}
-	c.Controller().Tick()
-	v := c.View()
-	st, _ := v.State(TopicPartition{Topic: "t", Partition: 0})
-	if !containsInt(st.ISR, 2) {
-		t.Fatalf("returner not re-admitted to ISR: %+v", st)
-	}
+	// Re-admission is leader-driven: the returner re-enters the ISR only
+	// once its replica fetches cover the leader's high-watermark, so the
+	// test ticks the controller until the expansion sweep confirms it.
+	waitUntil(t, 2*time.Second, func() bool {
+		c.Controller().Tick()
+		st, _ := c.View().State(TopicPartition{Topic: "t", Partition: 0})
+		return containsInt(st.ISR, 2)
+	}, "returner re-admitted to ISR after catch-up")
 	n2, err := c.Node(2)
 	if err != nil {
 		t.Fatal(err)
@@ -344,6 +346,137 @@ func TestClusterRestartCatchUp(t *testing.T) {
 	if _, err := cl.Produce("t", 0, []Record{{Value: []byte("post")}}); err != nil {
 		t.Fatalf("produce after follower return: %v", err)
 	}
+}
+
+// TestClusterReturnedReplicaOutOfISRUntilCaughtUp pins the safety half
+// of re-admission: a returning replica that has not yet replicated up to
+// the leader's high-watermark must be refused by AdmitFollower and stay
+// out of the ISR, because admitting it early would let an election hand
+// leadership to a log that is missing acked records.
+func TestClusterReturnedReplicaOutOfISRUntilCaughtUp(t *testing.T) {
+	c := newTestCluster(t, 3, 3)
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.Client(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := TopicPartition{Topic: "t", Partition: 0}
+	if _, err := cl.Produce("t", 0, []Record{{Value: []byte("pre")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash("node-2"); err != nil {
+		t.Fatal(err)
+	}
+	c.Controller().Tick()
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Produce("t", 0, []Record{{Value: []byte(fmt.Sprintf("mid-%d", i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The leader's last fetch progress for node 2 is offset 1, its
+	// high-watermark is 6: admission must be refused until the gap closes.
+	n0, err := c.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.View().State(tp)
+	if ok, aerr := n0.AdmitFollower(tp, 2, st.Epoch); aerr != nil || ok {
+		t.Fatalf("AdmitFollower(lagging returner) = (%v, %v), want (false, nil)", ok, aerr)
+	}
+	c.Controller().Tick()
+	if st, _ := c.View().State(tp); containsInt(st.ISR, 2) {
+		t.Fatalf("lagging returner must stay out of the ISR: %+v", st)
+	}
+	// Once restarted, replica fetches close the gap and the next sweeps
+	// re-admit it — and only then.
+	if err := c.Restart("node-2"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 2*time.Second, func() bool {
+		c.Controller().Tick()
+		st, _ := c.View().State(tp)
+		return containsInt(st.ISR, 2)
+	}, "caught-up returner re-admitted to ISR")
+	n2, err := c.Node(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end, err := n2.LogEnd(tp); err != nil || end != 6 {
+		t.Fatalf("re-admitted replica log end = (%d, %v), want 6", end, err)
+	}
+}
+
+// TestClusterNoUncleanElectionAfterReturn pins the revival rule: an
+// offline partition comes back only through a member of its last
+// in-sync set. The replica that was already out of the ISR when the
+// partition went dark returns first — and must NOT be elected, because
+// its log is missing the records acked while it was down.
+func TestClusterNoUncleanElectionAfterReturn(t *testing.T) {
+	c := newTestCluster(t, 3, 2) // rf=2: partition 0 lives on nodes 0,1
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.Client(&resilience.Retry{
+		BaseDelay:  200 * time.Microsecond,
+		MaxDelay:   time.Millisecond,
+		MaxElapsed: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := TopicPartition{Topic: "t", Partition: 0}
+	if _, err := cl.Produce("t", 0, []Record{{Value: []byte("both")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 drops out; "solo" is acked against ISR {0} alone.
+	if err := c.Crash("node-1"); err != nil {
+		t.Fatal(err)
+	}
+	c.Controller().Tick()
+	if _, err := cl.Produce("t", 0, []Record{{Value: []byte("solo")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Now the sole in-sync survivor dies too: offline, ISR frozen at {0}.
+	if err := c.Crash("node-0"); err != nil {
+		t.Fatal(err)
+	}
+	c.Controller().Tick()
+	st, _ := c.View().State(tp)
+	if st.Leader != -1 || !containsInt(st.ISR, 0) || containsInt(st.ISR, 1) {
+		t.Fatalf("offline state must freeze the last in-sync set: %+v", st)
+	}
+	// The stale replica returns first. Electing it would lose "solo", so
+	// the partition must stay offline.
+	if err := c.Restart("node-1"); err != nil {
+		t.Fatal(err)
+	}
+	c.Controller().Tick()
+	if st, _ := c.View().State(tp); st.Leader != -1 {
+		t.Fatalf("stale returner outside the last ISR must not be elected: %+v", st)
+	}
+	if _, err := cl.Produce("t", 0, []Record{{Value: []byte("unclean")}}); err == nil {
+		t.Fatal("produce must keep failing while only a stale replica is back")
+	}
+	// The frozen-ISR member returns: revival, with every acked record.
+	if err := c.Restart("node-0"); err != nil {
+		t.Fatal(err)
+	}
+	c.Controller().Tick()
+	if st, _ := c.View().State(tp); st.Leader != 0 {
+		t.Fatalf("revival must elect the last in-sync member: %+v", st)
+	}
+	got := clusterValues(t, cl, "t", 0)
+	if !got["both"] || !got["solo"] {
+		t.Fatalf("acked records lost across offline/revival: %v", got)
+	}
+	// And the stale replica rejoins the usual way: catch up, then ISR.
+	waitUntil(t, 2*time.Second, func() bool {
+		c.Controller().Tick()
+		st, _ := c.View().State(tp)
+		return containsInt(st.ISR, 1)
+	}, "stale replica re-admitted after catch-up")
 }
 
 // TestClusterConformanceRebalance checks the consumer-group contract

@@ -208,6 +208,33 @@ func TestClusterConformanceTCPFailover(t *testing.T) {
 		}
 		return true
 	}, "all acked records visible after TCP failover")
+
+	// Bring the deposed leader back: re-admission runs over the wire
+	// (admit_follower frames to the new leader) and must land only after
+	// the returner's replica fetches cover the high-watermark.
+	w.nodes[1].Restart()
+	waitUntil(t, 2*time.Second, func() bool {
+		w.ctrl.Tick()
+		st, _ := w.ctrl.View().State(broker.TopicPartition{Topic: "t", Partition: 1})
+		return contains(st.ISR, 1)
+	}, "returner re-admitted to ISR over the wire")
+	lead, err := w.nodes[st.Leader].LogEnd(broker.TopicPartition{Topic: "t", Partition: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end, err := w.nodes[1].LogEnd(broker.TopicPartition{Topic: "t", Partition: 1}); err != nil || end != lead {
+		t.Fatalf("re-admitted replica log end = (%d, %v), want leader's %d", end, err, lead)
+	}
+}
+
+// contains reports membership in a small id slice.
+func contains(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
 }
 
 // TestClusterConformanceTornFrames points the client's link to the

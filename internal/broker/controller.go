@@ -47,6 +47,10 @@ type Controller struct {
 	mLeaderEpoch *telemetry.Gauge
 	metrics      *telemetry.Registry
 
+	// tickMu serializes whole liveness sweeps (the ping phase runs
+	// outside c.mu so a stalled peer cannot block topic admin or View).
+	tickMu sync.Mutex
+
 	mu       sync.Mutex
 	peers    map[int]ClusterPeer
 	view     ClusterView
@@ -176,6 +180,14 @@ func (c *Controller) CreateTopic(name string, partitions int) error {
 				leader = id
 			}
 		}
+		if len(isr) == 0 {
+			// Every replica is down at creation: all logs are equally
+			// (and trivially) empty, so the whole replica set is the
+			// in-sync set a returning member may revive from.
+			for _, id := range replicas {
+				isr = insertSorted(isr, id)
+			}
+		}
 		states[p] = PartitionState{Leader: leader, Epoch: 1, Replicas: replicas, ISR: isr}
 		c.noteLeaderLocked(TopicPartition{Topic: name, Partition: p}, leader)
 	}
@@ -206,13 +218,18 @@ func (c *Controller) DeleteTopic(name string) error {
 }
 
 // Tick runs one liveness sweep: ping every node, apply death and
-// return transitions, and push the view when anything changed. The
-// background loop calls it periodically; tests call it directly for
-// step-by-step determinism.
+// return transitions, re-expand the ISR with caught-up followers, and
+// push the view when anything changed. The background loop calls it
+// periodically; tests call it directly for step-by-step determinism.
+// Pings run outside c.mu (a stalled peer must not block topic admin or
+// View); transitions apply under it, in ascending node-id order, so
+// concurrent failures still resolve deterministically.
 func (c *Controller) Tick() {
+	c.tickMu.Lock()
+	defer c.tickMu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return
 	}
 	ids := make([]int, 0, len(c.peers))
@@ -220,16 +237,30 @@ func (c *Controller) Tick() {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	peers := make(map[int]ClusterPeer, len(c.peers))
+	for id, p := range c.peers {
+		peers[id] = p
+	}
+	c.mu.Unlock()
+
+	alive := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		alive[id] = peers[id].Ping() == nil
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
 	changed := false
 	for _, id := range ids {
-		err := c.peers[id].Ping()
-		alive := err == nil
 		switch {
-		case !alive && !c.down[id]:
+		case !alive[id] && !c.down[id]:
 			c.down[id] = true
 			c.handleDeathLocked(id)
 			changed = true
-		case alive && c.down[id]:
+		case alive[id] && c.down[id]:
 			delete(c.down, id)
 			c.handleReturnLocked(id)
 			changed = true
@@ -241,6 +272,10 @@ func (c *Controller) Tick() {
 		if c.coordinator != nil {
 			c.coordinator.RebalanceGroups()
 		}
+	}
+	if c.expandISRLocked() {
+		c.view.Version++
+		c.pushViewLocked()
 	}
 }
 
@@ -259,18 +294,30 @@ func (c *Controller) handleDeathLocked(id int) {
 		for p := range states {
 			st := &states[p]
 			if st.Leader == id {
-				st.ISR = removeInt(st.ISR, id)
-				st.Leader = c.electLocked(TopicPartition{Topic: topic, Partition: p}, st.ISR)
+				tp := TopicPartition{Topic: topic, Partition: p}
+				winner := c.electLocked(tp, removeInt(st.ISR, id))
+				if winner >= 0 {
+					st.ISR = removeInt(st.ISR, id)
+					st.Leader = winner
+				} else {
+					// No electable in-sync survivor: the partition goes
+					// offline. The ISR is frozen as-is — dead leader
+					// included — because it is the last set known to
+					// hold the acked prefix, and only its members may
+					// revive the partition (no unclean election).
+					st.Leader = -1
+				}
 				st.Epoch++
 				if st.Epoch > c.maxEpoch {
 					c.maxEpoch = st.Epoch
 					c.mLeaderEpoch.Set(int64(c.maxEpoch))
 				}
 				c.mFailovers.Inc()
-				c.noteLeaderLocked(TopicPartition{Topic: topic, Partition: p}, st.Leader)
-			} else if containsInt(st.ISR, id) {
+				c.noteLeaderLocked(tp, st.Leader)
+			} else if st.Leader >= 0 && containsInt(st.ISR, id) {
 				// A follower died: shrink the ISR so the leader's
-				// high-watermark derivation stops waiting on it.
+				// high-watermark derivation stops waiting on it. An
+				// offline partition's frozen ISR stays untouched.
 				st.ISR = removeInt(st.ISR, id)
 			}
 		}
@@ -302,13 +349,14 @@ func (c *Controller) electLocked(tp TopicPartition, isr []int) int {
 	return winner
 }
 
-// handleReturnLocked re-admits a restarted node: back into membership,
-// back into the ISR of every partition it replicates, and — when it
-// revives an offline partition — elected leader. Immediate ISR
-// re-entry is the conservative choice: the high-watermark stalls until
-// the returner's first replica fetch announces its (crash-surviving)
-// log end, so acks can only be over-protected, never lost. Caller
-// holds c.mu.
+// handleReturnLocked re-admits a restarted node into membership — but
+// NOT into any ISR: a returner's log may be missing records acked
+// while it was down, so it re-enters an ISR only through the leader's
+// caught-up confirmation (expandISRLocked). The one exception is an
+// offline partition whose frozen last-in-sync set contains the
+// returner: that set is the only one known to hold the acked prefix,
+// so its member's return revives the partition with a bumped epoch.
+// Caller holds c.mu.
 func (c *Controller) handleReturnLocked(id int) {
 	c.view.Members = insertSorted(c.view.Members, id)
 	topics := make([]string, 0, len(c.view.Partitions))
@@ -320,23 +368,69 @@ func (c *Controller) handleReturnLocked(id int) {
 		states := c.view.Partitions[topic]
 		for p := range states {
 			st := &states[p]
-			if !containsInt(st.Replicas, id) {
+			if st.Leader >= 0 || !containsInt(st.ISR, id) {
 				continue
 			}
-			st.ISR = insertSorted(st.ISR, id)
-			if st.Leader < 0 {
-				tp := TopicPartition{Topic: topic, Partition: p}
-				st.Leader = c.electLocked(tp, st.ISR)
-				st.Epoch++
-				if st.Epoch > c.maxEpoch {
-					c.maxEpoch = st.Epoch
-					c.mLeaderEpoch.Set(int64(c.maxEpoch))
+			var live []int
+			for _, r := range st.ISR {
+				if !c.down[r] {
+					live = append(live, r)
 				}
-				c.mFailovers.Inc()
-				c.noteLeaderLocked(tp, st.Leader)
+			}
+			tp := TopicPartition{Topic: topic, Partition: p}
+			winner := c.electLocked(tp, live)
+			if winner < 0 {
+				continue // still offline; a later return retries
+			}
+			st.ISR = live
+			st.Leader = winner
+			st.Epoch++
+			if st.Epoch > c.maxEpoch {
+				c.maxEpoch = st.Epoch
+				c.mLeaderEpoch.Set(int64(c.maxEpoch))
+			}
+			c.mFailovers.Inc()
+			c.noteLeaderLocked(tp, st.Leader)
+		}
+	}
+}
+
+// expandISRLocked is the re-admission half of the ISR lifecycle: for
+// every live replica outside its partition's ISR, ask the leader to
+// admit it. The leader confirms only when the follower's replica
+// fetches cover the high-watermark, adding it to its own in-sync
+// derivation under the same lock — so the watermark can never advance
+// past the new member between the check and this view update. Returns
+// true when any ISR grew. Caller holds c.mu.
+func (c *Controller) expandISRLocked() bool {
+	topics := make([]string, 0, len(c.view.Partitions))
+	for t := range c.view.Partitions {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+	changed := false
+	for _, topic := range topics {
+		states := c.view.Partitions[topic]
+		for p := range states {
+			st := &states[p]
+			if st.Leader < 0 || c.down[st.Leader] || len(st.ISR) >= len(st.Replicas) {
+				continue
+			}
+			for _, r := range st.Replicas {
+				if r == st.Leader || c.down[r] || containsInt(st.ISR, r) {
+					continue
+				}
+				tp := TopicPartition{Topic: topic, Partition: p}
+				ok, err := c.peers[st.Leader].AdmitFollower(tp, r, st.Epoch)
+				if err != nil || !ok {
+					continue // not caught up yet; next sweep retries
+				}
+				st.ISR = insertSorted(st.ISR, r)
+				changed = true
 			}
 		}
 	}
+	return changed
 }
 
 // pushViewLocked sends the current view to every live node. A push

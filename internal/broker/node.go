@@ -306,17 +306,19 @@ func (n *Node) PushView(v ClusterView) error {
 	if err := n.gate(); err != nil {
 		return err
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if v.Version <= n.view.Version {
+		// Stale push: reject before creating anything, so a delayed old
+		// view cannot resurrect a topic a newer view already deleted.
+		return nil
+	}
 	for topic, states := range v.Partitions {
 		if _, err := n.b.Partitions(topic); err != nil {
 			if cerr := n.b.CreateTopic(topic, len(states)); cerr != nil && !errors.Is(cerr, ErrTopicExists) {
 				return cerr
 			}
 		}
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if v.Version <= n.view.Version {
-		return nil // stale push
 	}
 	n.view = v.Clone()
 	for topic, states := range v.Partitions {
@@ -329,7 +331,6 @@ func (n *Node) PushView(v ClusterView) error {
 			}
 			localEnd, _ := n.b.EndOffset(topic, p)
 			rs.mu.Lock()
-			wasLeader := rs.isLeader
 			oldHW := rs.hw
 			epochMoved := st.Epoch > rs.epoch
 			if epochMoved {
@@ -339,8 +340,13 @@ func (n *Node) PushView(v ClusterView) error {
 			rs.replicas = append([]int(nil), st.Replicas...)
 			rs.isr = append([]int(nil), st.ISR...)
 			rs.isLeader = st.Leader == n.id
+			leadsNow := rs.isLeader
 			if rs.isLeader {
-				if rs.followerEnd == nil {
+				if epochMoved || rs.followerEnd == nil {
+					// A fresh leadership term forgets follower progress
+					// learned in earlier terms — a returner may have
+					// truncated since, so old ends could overstate what
+					// it holds and inflate the high-watermark.
 					rs.followerEnd = make(map[int]int64)
 				}
 				// ISR changes move the watermark derivation: recompute
@@ -353,9 +359,11 @@ func (n *Node) PushView(v ClusterView) error {
 			// just the controller's (followers are what you can still
 			// scrape mid-failover).
 			n.metrics.Gauge("broker.cluster.leader." + tpKey(tp)).Set(int64(st.Leader))
-			if wasLeader && !rs.isLeader && epochMoved {
-				// Demoted: drop the unacked tail so the log rejoins the
-				// new leader's as a clean prefix before re-fetching.
+			if epochMoved && !leadsNow {
+				// New term, not leading it: drop everything this node
+				// never saw acked so its log rejoins the new leader's as
+				// a clean prefix before re-fetching — the old tail may
+				// hold records the new leader assigns differently.
 				_ = n.b.truncateTo(topic, p, oldHW)
 			}
 		}
@@ -446,6 +454,17 @@ func (n *Node) runFetcher(tp TopicPartition, target fetchTarget, stop chan struc
 			continue
 		}
 		if len(resp.Records) > 0 {
+			if rs := n.state(tp); rs != nil {
+				rs.mu.Lock()
+				moved := rs.epoch != target.epoch
+				rs.mu.Unlock()
+				if moved {
+					// The view moved past this fetch target while the
+					// batch was in flight: drop it rather than append
+					// records from a superseded term.
+					return
+				}
+			}
 			if err := n.b.replicate(tp.Topic, tp.Partition, resp.Records); err != nil {
 				if !n.fetchWait(stop) {
 					return
@@ -551,6 +570,40 @@ func (n *Node) ReplicaFetch(req ReplicaFetchRequest) (ReplicaFetchResponse, erro
 	return ReplicaFetchResponse{Records: recs, HW: hw, Epoch: epoch}, nil
 }
 
+// AdmitFollower implements ClusterPeer: the leader-side gate of ISR
+// re-admission. The caught-up check and the ISR insert happen under the
+// same lock that derives the high-watermark, so the watermark cannot
+// advance past the new member between its last fetch and the
+// controller's view update — the invariant that every ISR member holds
+// the acked prefix survives the expansion. A follower that has not
+// fetched this term, or whose fetches stop short of the watermark, is
+// refused without error (the controller's next sweep retries).
+func (n *Node) AdmitFollower(tp TopicPartition, follower, epoch int) (bool, error) {
+	if err := n.gate(); err != nil {
+		return false, err
+	}
+	rs := n.state(tp)
+	if rs == nil {
+		return false, fmt.Errorf("%w: %s/%d", ErrUnknownPartition, tp.Topic, tp.Partition)
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.isLeader || rs.epoch != epoch || !containsInt(rs.replicas, follower) {
+		return false, nil
+	}
+	if containsInt(rs.isr, follower) {
+		// Already in the local derivation (an earlier admission whose
+		// view push was lost): confirm so the controller converges.
+		return true, nil
+	}
+	end, fetched := rs.followerEnd[follower]
+	if !fetched || end < rs.hw {
+		return false, nil
+	}
+	rs.isr = insertSorted(rs.isr, follower)
+	return true, nil
+}
+
 // Produce implements Transport with acks=all semantics: the append is
 // accepted only on the partition leader and the call blocks until the
 // high-watermark covers it — every ISR member stores the records — so
@@ -566,18 +619,25 @@ func (n *Node) Produce(topic string, partition int, recs []Record) (int64, error
 	if rs == nil {
 		return n.b.Produce(topic, partition, recs)
 	}
+	// The leadership check and the append stay under one rs.mu hold: a
+	// concurrent demotion (PushView flips isLeader under rs.mu, then
+	// truncates to the old high-watermark) either lands before the
+	// check — rejecting the produce — or after the append — truncating
+	// the still-unacked tail — so no record can survive in a follower
+	// log at an offset the new leader will assign to different data.
 	rs.mu.Lock()
 	if !rs.isLeader {
 		err := rs.notLeader(tp)
 		rs.mu.Unlock()
 		return 0, err
 	}
-	rs.mu.Unlock()
 	base, err := n.b.Produce(topic, partition, recs)
 	if err != nil {
+		rs.mu.Unlock()
 		return 0, err
 	}
 	target, err := n.b.EndOffset(topic, partition)
+	rs.mu.Unlock()
 	if err != nil {
 		return 0, err
 	}

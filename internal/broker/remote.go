@@ -149,7 +149,15 @@ func (rc *RemoteClient) checkout() (*remoteConn, error) {
 		return c, nil
 	}
 	rc.mu.Unlock()
-	conn, err := net.Dial("tcp", rc.addr)
+	// Bound the dial by the call timeout: a blackholed peer must fail
+	// fast, not hang the caller (the controller probes liveness through
+	// this path) on the kernel's connect timeout. Timeout ≤ 0 means
+	// unbounded, matching WithCallTimeout's deadline contract.
+	dialTimeout := rc.timeout
+	if dialTimeout < 0 {
+		dialTimeout = 0
+	}
+	conn, err := net.DialTimeout("tcp", rc.addr, dialTimeout)
 	if err != nil {
 		return nil, resilience.MarkRetryable(fmt.Errorf("broker: dial %s: %w: %w", rc.addr, ErrUnavailable, err))
 	}
@@ -388,6 +396,16 @@ func (rc *RemoteClient) ReplicaFetch(req ReplicaFetchRequest) (ReplicaFetchRespo
 		return ReplicaFetchResponse{}, err
 	}
 	return ReplicaFetchResponse{Records: fromWire(resp.Records), HW: resp.HW, Epoch: resp.Epoch}, nil
+}
+
+// AdmitFollower implements ClusterPeer: the controller asks a remote
+// leader to confirm a follower's catch-up before expanding the ISR.
+func (rc *RemoteClient) AdmitFollower(tp TopicPartition, follower, epoch int) (bool, error) {
+	resp, err := rc.call(&wireRequest{Op: "admit_follower", Topic: tp.Topic, Partition: tp.Partition, From: follower, Epoch: epoch})
+	if err != nil {
+		return false, err
+	}
+	return resp.Admitted, nil
 }
 
 // LogEnd implements ClusterPeer: the raw local log end (not the

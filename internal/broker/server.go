@@ -68,6 +68,7 @@ type wireResponse struct {
 	View       *ClusterView   `json:"view,omitempty"`
 	HW         int64          `json:"hw,omitempty"`
 	Epoch      int            `json:"epoch,omitempty"`
+	Admitted   bool           `json:"admitted,omitempty"`
 }
 
 // wireRecord is the JSON form of a Record; []byte fields use JSON's
@@ -154,7 +155,7 @@ func Serve(b *Broker, addr string) (*Server, error) {
 // ServeNode starts a TCP server for a cluster node: the standard
 // Transport ops gated by the node's leadership/high-watermark rules,
 // plus the cluster ops (ping, metadata, push_view, log_end,
-// replica_fetch).
+// replica_fetch, admit_follower).
 func ServeNode(n *Node, addr string) (*Server, error) {
 	return serveHandler(nodeHandler{n: n}, addr)
 }
@@ -365,6 +366,12 @@ func (h nodeHandler) serve(req *wireRequest) *wireResponse {
 			return fail(err)
 		}
 		resp.Offset = off
+	case "admit_follower":
+		ok, err := h.n.AdmitFollower(TopicPartition{Topic: req.Topic, Partition: req.Partition}, req.From, req.Epoch)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Admitted = ok
 	case "replica_fetch":
 		r, err := h.n.ReplicaFetch(ReplicaFetchRequest{
 			Topic:     req.Topic,
