@@ -9,12 +9,16 @@ import (
 
 // hotTensorFuncs are the internal/tensor functions that sit on the
 // steady-state inference path beyond the Into-suffix convention: the
-// blocked matmul core, the im2col packer, and the parallel fan-outs.
+// blocked matmul core, the im2col packers (float and quantized), the
+// parallel fan-outs, and the packed int8 GEMM core.
 var hotTensorFuncs = map[string]bool{
 	"matMulRange":    true,
 	"im2col":         true,
 	"parallelMatMul": true,
 	"poolMatMul":     true,
+	"qMatMulPacked":  true,
+	"im2colQ":        true,
+	"store4q":        true,
 }
 
 // hotModelFiles are the internal/model files whose entire contents are
@@ -25,9 +29,11 @@ var hotModelFiles = map[string]bool{
 }
 
 // NewHotPathAlloc flags heap allocations on the inference hot path:
-// calls to tensor.New and make([]float32, ...) inside internal/tensor's
-// Into-variant kernels (plus the helpers above) and anywhere in
-// internal/model's forward.go and plan.go. The zero-allocation contract
+// calls to tensor.New and make([]T, ...) for the inference datatypes
+// (float32 activations, int8 quantized values, int32 accumulators,
+// uint64 packed words) inside internal/tensor's Into-variant kernels
+// (plus the helpers above) and anywhere in internal/model's forward.go
+// and plan.go. The zero-allocation contract
 // (docs/PERFORMANCE.md) is held by AllocsPerRun tests at the package
 // level; this analyzer attributes a regression to its line before the
 // tests can only say "some step allocated". Deliberate cold-path
@@ -80,8 +86,8 @@ func reportHotAllocs(pass *Pass, root ast.Node, where string) {
 		}
 		switch fun := call.Fun.(type) {
 		case *ast.Ident:
-			if fun.Name == "make" && isFloat32SliceMake(info, call) {
-				pass.Report(call.Pos(), "make([]float32, ...) in %s: hot paths take caller scratch or arena buffers (docs/PERFORMANCE.md), or annotate //lint:allow hotpathalloc <reason>", where)
+			if elt, ok := hotSliceMake(info, call); fun.Name == "make" && ok {
+				pass.Report(call.Pos(), "make([]%s, ...) in %s: hot paths take caller scratch or arena buffers (docs/PERFORMANCE.md), or annotate //lint:allow hotpathalloc <reason>", elt, where)
 			}
 			if fun.Name == "New" && pass.Pkg.ModRel == "internal/tensor" && isLocalFunc(info, fun) {
 				pass.Report(call.Pos(), "tensor New in %s: hot kernels write into caller-provided tensors, or annotate //lint:allow hotpathalloc <reason>", where)
@@ -98,25 +104,39 @@ func reportHotAllocs(pass *Pass, root ast.Node, where string) {
 	})
 }
 
-// isFloat32SliceMake matches the literal form make([]float32, ...),
-// requiring make to be the builtin when type information is available.
-func isFloat32SliceMake(info *types.Info, call *ast.CallExpr) bool {
+// hotSliceElems are the element types whose slice makes the analyzer
+// bans on hot paths: the float32 activation buffers plus the quantized
+// path's int8 values, int32 accumulators, and uint64 packed pair-words.
+var hotSliceElems = map[string]bool{
+	"float32": true,
+	"int8":    true,
+	"int32":   true,
+	"uint64":  true,
+}
+
+// hotSliceMake matches the literal form make([]T, ...) for a hot
+// element type T, requiring make to be the builtin when type
+// information is available. It returns the element type name.
+func hotSliceMake(info *types.Info, call *ast.CallExpr) (string, bool) {
 	if len(call.Args) == 0 {
-		return false
+		return "", false
 	}
 	if info != nil {
 		if obj, ok := info.Uses[call.Fun.(*ast.Ident)]; ok {
 			if _, builtin := obj.(*types.Builtin); !builtin {
-				return false
+				return "", false
 			}
 		}
 	}
 	at, ok := call.Args[0].(*ast.ArrayType)
 	if !ok || at.Len != nil {
-		return false
+		return "", false
 	}
 	elt, ok := at.Elt.(*ast.Ident)
-	return ok && elt.Name == "float32"
+	if !ok || !hotSliceElems[elt.Name] {
+		return "", false
+	}
+	return elt.Name, true
 }
 
 // isLocalFunc reports whether ident resolves to a package-level function

@@ -31,3 +31,22 @@ func im2col(src []float32) []float32 {
 	copy(col, src)
 	return col
 }
+
+// QScaleInto seeds the quantized-path datatypes: int8 value and int32
+// accumulator makes inside an Into-variant kernel are violations too.
+func QScaleInto(dst []int8, acc []int32) {
+	q := make([]int8, len(dst))  // want hotpathalloc
+	a := make([]int32, len(acc)) // want hotpathalloc
+	_, _ = q, a
+}
+
+// qMatMulPacked is on the hot-helper allow-list; packed-word scratch
+// must come from the arena.
+func qMatMulPacked(lhs []uint64) []uint64 {
+	w := make([]uint64, len(lhs)) // want hotpathalloc
+	copy(w, lhs)
+	return w
+}
+
+// PackRHS is a cold packer: growing the packed buffer here is fine.
+func PackRHS(n int) []uint64 { return make([]uint64, n) }

@@ -187,8 +187,15 @@ type ServingConfig struct {
 	// Tool names the serving tool: onnx, savedmodel, dl4j (embedded);
 	// tf-serving, torchserve, ray-serve (external).
 	Tool string
-	// Device is "cpu" (default) or "gpu".
+	// Device is "cpu" (default) or "gpu"; a "+int8" suffix (or the
+	// Int8 flag) selects the quantized execution profile.
 	Device string
+	// Int8 opts the embedded runtime into the quantized int8 inference
+	// path (docs/QUANTIZATION.md): the model is calibrated and compiled
+	// to an int8 plan at load time. Embedded onnx/dl4j only — the
+	// savedmodel runtime executes its graph unfused and external tools
+	// manage their own precision.
+	Int8 bool
 	// Workers overrides the external server's worker pool; zero means
 	// the experiment's parallelism (fair resource allocation, §3.5,
 	// gives external servers their own pool).

@@ -29,6 +29,40 @@ func TestNoopScorer(t *testing.T) {
 	}
 }
 
+func TestBuildScorerInt8(t *testing.T) {
+	m, err := ModelSpec{Name: "ffnn", Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Int8 flag and the "+int8" device suffix are equivalent
+	// spellings; both produce a working embedded scorer.
+	for _, cfg := range []ServingConfig{
+		{Mode: Embedded, Tool: "onnx", Int8: true},
+		{Mode: Embedded, Tool: "onnx", Device: "cpu+int8"},
+	} {
+		sc, cleanup, err := BuildScorer(cfg, m, 1)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		out, err := sc.Score(make([]float32, m.InputLen()), 1)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if len(out) != m.OutputSize {
+			t.Fatalf("%+v: output %d", cfg, len(out))
+		}
+		cleanup()
+	}
+	// External serving tools manage their own precision.
+	if _, _, err := BuildScorer(ServingConfig{Mode: External, Tool: "tf-serving", Int8: true}, m, 1); err == nil {
+		t.Fatal("external int8 accepted")
+	}
+	// The unfused savedmodel runtime cannot execute a quantized plan.
+	if _, _, err := BuildScorer(ServingConfig{Mode: Embedded, Tool: "savedmodel", Int8: true}, m, 1); err == nil {
+		t.Fatal("savedmodel int8 accepted")
+	}
+}
+
 func TestValidateBrokerHeadroom(t *testing.T) {
 	cfg := quickConfig("flink", ServingConfig{Mode: Embedded, Tool: "onnx"})
 	cfg.Workload.Duration = 300 * time.Millisecond

@@ -251,7 +251,41 @@ func AblationFastKernels(opts Options) (*Report, error) {
 		o.logf("ablation kernels %s: %v", c.name, per)
 		r.AddRow(c.name, fmtMs(per))
 	}
+	// The float32-vs-int8 arm: calibrate the folded model and run the
+	// quantized plan over the same inputs (docs/QUANTIZATION.md).
+	cal, err := folded.Calibrate(inputs, 1)
+	if err != nil {
+		return nil, fmt.Errorf("ablation kernels (int8 calibration): %w", err)
+	}
+	qplan, err := folded.QuantizePlan(model.ExecHints{}, cal)
+	if err != nil {
+		return nil, fmt.Errorf("ablation kernels (int8 plan): %w", err)
+	}
+	defer qplan.Close()
+	qout := make([]float32, qplan.OutputLen())
+	qbuf := make([]float32, len(inputs))
+	qMeasure := func() (time.Duration, error) {
+		copy(qbuf, inputs)
+		if err := qplan.Forward(qbuf, 1, qout); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			copy(qbuf, inputs)
+			if err := qplan.Forward(qbuf, 1, qout); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(iters), nil
+	}
+	qper, err := qMeasure()
+	if err != nil {
+		return nil, fmt.Errorf("ablation kernels (int8 plan): %w", err)
+	}
+	o.logf("ablation kernels int8 quantized plan: %v", qper)
+	r.AddRow("int8 quantized plan (tensorrt-style)", fmtMs(qper))
 	r.AddNote("these real kernel-level gains are the source of Figure 9's GPU improvements (plus the modelled PCIe transfer)")
+	r.AddNote("the int8 arm runs the packed-GEMM quantized plan on the BN-folded model; its accuracy cost is pinned by the drift contract (docs/QUANTIZATION.md)")
 	return r, nil
 }
 

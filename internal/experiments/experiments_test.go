@@ -161,6 +161,19 @@ func TestAblationsTiny(t *testing.T) {
 	}
 }
 
+func TestAblationKernelsInt8Arm(t *testing.T) {
+	r, err := AblationFastKernels(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if strings.Contains(row[0], "int8") {
+			return
+		}
+	}
+	t.Fatalf("no int8 arm in ablation-kernels rows: %v", r.Rows)
+}
+
 func TestRecoveryTiny(t *testing.T) {
 	r, err := RecoveryFaultInjection(tinyOptions())
 	if err != nil {

@@ -14,6 +14,7 @@ package gpu
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -42,6 +43,9 @@ type Device interface {
 type ExecProfile struct {
 	Workers     int
 	FastKernels bool
+	// Int8 requests the quantized inference path: the runtime compiles
+	// an int8 plan (model.QuantizePlan) and pays int8-sized transfers.
+	Int8 bool
 }
 
 // ProfileOf extracts a device's execution profile (nil = CPU).
@@ -49,8 +53,30 @@ func ProfileOf(d Device) ExecProfile {
 	if d == nil {
 		d = CPU()
 	}
-	return ExecProfile{Workers: d.Workers(), FastKernels: d.FastKernels()}
+	return ExecProfile{Workers: d.Workers(), FastKernels: d.FastKernels(), Int8: SupportsInt8(d)}
 }
+
+// WithInt8 wraps a device so its profile requests int8 execution, the
+// way TensorRT-style deployments opt a model into the quantized engine
+// on the same hardware. nil wraps the CPU.
+func WithInt8(d Device) Device {
+	if d == nil {
+		d = CPU()
+	}
+	return int8Device{d}
+}
+
+// SupportsInt8 reports whether the device was wrapped by WithInt8.
+func SupportsInt8(d Device) bool {
+	_, ok := d.(int8Device)
+	return ok
+}
+
+type int8Device struct {
+	Device
+}
+
+func (d int8Device) Name() string { return d.Device.Name() + "+int8" }
 
 // CPU returns the host processor device.
 func CPU() Device { return cpuDevice{} }
@@ -107,14 +133,25 @@ func (g *gpuDevice) Transfer(n int) {
 	time.Sleep(d)
 }
 
-// ByName resolves "cpu" or "gpu" (with defaults) for configuration files.
+// ByName resolves "cpu" or "gpu" (with defaults) for configuration
+// files; a "+int8" suffix opts into the quantized execution profile
+// ("gpu+int8").
 func ByName(name string) (Device, error) {
-	switch name {
+	base, quantized := name, false
+	if n, ok := strings.CutSuffix(name, "+int8"); ok {
+		base, quantized = n, true
+	}
+	var d Device
+	switch base {
 	case "", "cpu":
-		return CPU(), nil
+		d = CPU()
 	case "gpu":
-		return NewGPU(Config{}), nil
+		d = NewGPU(Config{})
 	default:
 		return nil, fmt.Errorf("gpu: unknown device %q", name)
 	}
+	if quantized {
+		d = WithInt8(d)
+	}
+	return d, nil
 }

@@ -61,3 +61,29 @@ func TestByName(t *testing.T) {
 		t.Fatal("unknown device accepted")
 	}
 }
+
+func TestInt8Wrapping(t *testing.T) {
+	d := WithInt8(nil)
+	if !SupportsInt8(d) || SupportsInt8(CPU()) {
+		t.Fatal("SupportsInt8 does not track WithInt8")
+	}
+	if d.Name() != "cpu+int8" {
+		t.Fatalf("name = %s", d.Name())
+	}
+	p := ProfileOf(d)
+	if !p.Int8 || p.Workers != 1 || p.FastKernels {
+		t.Fatalf("profile = %+v", p)
+	}
+	for name, want := range map[string]string{"cpu+int8": "cpu+int8", "+int8": "cpu+int8", "gpu+int8": "gpu+int8"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if !SupportsInt8(d) || d.Name() != want {
+			t.Fatalf("%q resolved to %s, int8=%v", name, d.Name(), SupportsInt8(d))
+		}
+	}
+	if _, err := ByName("tpu+int8"); err == nil {
+		t.Fatal("unknown int8 base device accepted")
+	}
+}

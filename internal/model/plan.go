@@ -29,6 +29,9 @@ type Plan struct {
 	nWino  int
 	outLen int // per-point output length
 
+	quantized bool // ops carry int8 kernels (QuantizePlan)
+	unfused   bool // keep op-by-op buffer lifetimes (CompileUnfused)
+
 	arenaHits, arenaMisses atomic.Uint64
 
 	mu    sync.Mutex
@@ -55,7 +58,10 @@ type planOp struct {
 	winoH, winoW int // layer input spatial dims, for scratch sizing
 	colLen       int
 
-	dims []int // per-point output dims (batch dim excluded); nil for in-place ops
+	dims   []int // per-point output dims (batch dim excluded); nil for in-place ops
+	inDims []int // per-point input dims for conv-like ops (quantization needs the geometry)
+
+	q *qOp // int8 kernel state, nil on float plans (see quant.go)
 }
 
 // stateSlot holds the execution states for one batch size. The pinned
@@ -196,6 +202,7 @@ func (p *Plan) compileConv(op *planOp, l *Layer, in []int) ([]int, error) {
 		return nil, fmt.Errorf("conv input must be NCHW, got per-point dims %v", in)
 	}
 	c, h, w := in[0], in[1], in[2]
+	op.inDims = append([]int(nil), in...)
 	oc, ic, kh, kw := l.W.Dim(0), l.W.Dim(1), l.W.Dim(2), l.W.Dim(3)
 	if ic != c {
 		return nil, fmt.Errorf("conv channel mismatch: input %d, kernel %d", c, ic)
@@ -241,8 +248,29 @@ func sameDims(a, b []int) bool {
 	return true
 }
 
+// CompileUnfused compiles a plan that keeps the unfused op-by-op
+// buffer lifetimes: every operator output stays live until the pass
+// ends instead of being recycled into its successor. This models
+// runtimes that execute the stored graph node by node without a fusion
+// pass (the savedmodel embedded runtime) while still drawing buffers
+// from the arena, so the steady state stays allocation-free. Outputs
+// are bit-identical to Compile's — only lifetimes differ.
+func (m *Model) CompileUnfused(hints ExecHints) (*Plan, error) {
+	p, err := m.Compile(hints)
+	if err != nil {
+		return nil, err
+	}
+	p.unfused = true
+	return p, nil
+}
+
 // Hints returns the execution hints the plan was compiled with.
 func (p *Plan) Hints() ExecHints { return p.hints }
+
+// Quantized reports whether the plan executes int8 kernels
+// (QuantizePlan). Serving runtimes use it to model int8-sized device
+// transfers.
+func (p *Plan) Quantized() bool { return p.quantized }
 
 // OutputLen returns the per-point output length.
 func (p *Plan) OutputLen() int { return p.outLen }
@@ -358,6 +386,14 @@ func (p *Plan) exec(s *execState, in, out []float32) error {
 	for i := range p.ops {
 		op := &p.ops[i]
 		l := op.l
+		if op.q != nil {
+			y, err := p.qApply(s, i, op, x)
+			if err != nil {
+				return err
+			}
+			x = y
+			continue
+		}
 		switch op.kind {
 		case KindDense:
 			y := s.arena.Get(s.shapes[i]...)
@@ -367,7 +403,7 @@ func (p *Plan) exec(s *execState, in, out []float32) error {
 				tensor.MatMulInto(y, x, l.W)
 			}
 			tensor.AddBiasInto(y, y, l.B)
-			s.retire(x)
+			p.retire(s, x)
 			x = y
 		case KindReLU:
 			tensor.ReLU(x)
@@ -378,7 +414,7 @@ func (p *Plan) exec(s *execState, in, out []float32) error {
 			if err := p.convInto(s, op, y, x); err != nil {
 				return err
 			}
-			s.retire(x)
+			p.retire(s, x)
 			x = y
 		case KindBatchNorm:
 			if _, err := tensor.BatchNorm(x, l.Gamma, l.Beta, l.Mean, l.Variance, l.Eps); err != nil {
@@ -387,12 +423,12 @@ func (p *Plan) exec(s *execState, in, out []float32) error {
 		case KindMaxPool:
 			y := s.arena.Get(s.shapes[i]...)
 			tensor.MaxPool2DInto(y, x, l.PoolSize, l.Stride, l.Pad)
-			s.retire(x)
+			p.retire(s, x)
 			x = y
 		case KindGlobalAvg:
 			y := s.arena.Get(s.shapes[i]...)
 			tensor.GlobalAvgPool2DInto(y, x)
-			s.retire(x)
+			p.retire(s, x)
 			x = y
 		case KindFlatten:
 			// A view, as in the reference pass: the underlying buffer
@@ -414,7 +450,7 @@ func (p *Plan) exec(s *execState, in, out []float32) error {
 			}
 			s.skips[len(s.skips)-1] = y
 			if skip != x {
-				s.retire(skip)
+				p.retire(s, skip)
 			}
 		case KindResidual:
 			skip := s.skips[len(s.skips)-1]
@@ -423,12 +459,76 @@ func (p *Plan) exec(s *execState, in, out []float32) error {
 				return err
 			}
 			if skip != x {
-				s.retire(skip)
+				p.retire(s, skip)
 			}
 		}
 	}
 	copy(out, x.Data())
 	return nil
+}
+
+// qApply runs one quantized op (docs/QUANTIZATION.md): quantize the
+// float32 activation into arena-pooled int8 scratch, run the packed
+// int8 kernel into int32 accumulators, fold in the precomputed bias,
+// and dequantize back to float32 at the op boundary. Every scratch
+// buffer is recycled before returning, so steady state stays
+// allocation-free. Returns the new activation (unchanged for
+// ProjSkip, which rewrites the skip stack instead).
+func (p *Plan) qApply(s *execState, i int, op *planOp, x *tensor.Tensor) (*tensor.Tensor, error) {
+	q := op.q
+	switch op.kind {
+	case KindDense:
+		rows := x.Dim(0)
+		qx := s.arena.GetQ(rows, q.k)
+		tensor.QuantizeLHSInto(qx, x.Data(), q.inScale, q.inZP)
+		acc := s.arena.GetAcc(rows * q.n)
+		tensor.QMatMulInto(acc, qx, q.w)
+		tensor.QAddBiasInto(acc, q.qbias, rows, q.n)
+		y := s.arena.Get(s.shapes[i]...)
+		tensor.DequantizeAccInto(y.Data(), acc, q.mult, rows, q.n)
+		s.arena.RecycleAcc(acc)
+		s.arena.RecycleQ(qx)
+		p.retire(s, x)
+		return y, nil
+	case KindConv, KindProjSkip:
+		src := x
+		if op.kind == KindProjSkip {
+			src = s.skips[len(s.skips)-1]
+		}
+		n := src.Dim(0)
+		qin := s.arena.GetQ(src.Shape()...)
+		tensor.QuantizeInto(qin, src.Data(), q.inScale, q.inZP)
+		lhs := s.arena.GetU64(q.lhsLen)
+		rsum := s.arena.GetAcc(q.patches)
+		acc := s.arena.GetAcc(n * q.patches * q.n)
+		tensor.QConv2DInto(acc, qin, q.w, q.kh, q.kw, op.l.Stride, op.l.Pad, lhs, rsum)
+		tensor.QAddBiasInto(acc, q.qbias, n*q.patches, q.n)
+		y := s.arena.Get(s.shapes[i]...)
+		tensor.DequantizeAccTInto(y.Data(), acc, q.mult, n, q.patches, q.n)
+		s.arena.RecycleAcc(acc)
+		s.arena.RecycleAcc(rsum)
+		s.arena.RecycleU64(lhs)
+		s.arena.RecycleQ(qin)
+		if op.kind == KindProjSkip {
+			s.skips[len(s.skips)-1] = y
+			if src != x {
+				p.retire(s, src)
+			}
+			return x, nil
+		}
+		p.retire(s, x)
+		return y, nil
+	}
+	return nil, fmt.Errorf("model %q: quantized op on unsupported layer kind %q", p.m.Name, op.kind)
+}
+
+// retire recycles a dead activation unless the plan keeps unfused
+// op-by-op lifetimes, in which case outputs stay live until Reset.
+func (p *Plan) retire(s *execState, t *tensor.Tensor) {
+	if p.unfused {
+		return
+	}
+	s.retire(t)
 }
 
 // retire recycles a dead activation unless a skip connection still

@@ -5,13 +5,24 @@
 //     per-device execution plan (model.Plan) whose steady state is
 //     allocation-free — the fastest embedded path, as in Table 4.
 //   - SavedModel: loads the SavedModel-analogue bundle and executes the
-//     graph op-by-op with per-op allocation (unfused).
+//     graph op-by-op through an unfused plan: no buffer recycling between
+//     operators inside a pass (every op output stays live, as graph
+//     executors without a fusion pass behave), but buffers come from the
+//     plan's arena, so the steady state is allocation-parity with ONNX.
 //   - DL4J: loads the Keras-H5-analogue format and pays a real foreign-
 //     function-interface cost on every call: inputs and outputs round-trip
 //     through a byte-level marshalling boundary, like a JNI bridge.
 //
 // Every runtime produces outputs identical to model.Forward; they differ
 // only in how they execute, which is exactly the paper's premise.
+//
+// A device wrapped by gpu.WithInt8 (or named "gpu+int8") opts the ONNX
+// and DL4J runtimes into the quantized int8 path: LoadModel folds batch
+// norms, calibrates activation ranges on a deterministic synthetic
+// batch, and compiles an int8 plan (docs/QUANTIZATION.md). The
+// savedmodel runtime rejects int8 — its unfused executor has no plan
+// fusion to hang the quantized kernels on, matching how TF SavedModel
+// deployments route quantization through a converter instead.
 package embedded
 
 import (
@@ -44,7 +55,7 @@ type Runtime struct {
 	dev    gpu.Device
 
 	m    *model.Model
-	plan *model.Plan // ONNX and DL4J: compiled for this runtime's device
+	plan *model.Plan // compiled for this runtime's device (unfused for SavedModel)
 }
 
 // New creates a runtime of the given kind executing on dev (nil = CPU).
@@ -83,27 +94,75 @@ func (r *Runtime) Load(data []byte) error {
 	return r.LoadModel(m)
 }
 
-// LoadModel installs an in-memory model directly, bypassing storage.
-// For the ONNX and DL4J runtimes this compiles the execution plan
-// against the device's profile, pre-sizing every intermediate buffer
-// (DL4J's ND4J backend compiles to the same C++ kernels; its deficit is
-// the FFI boundary around them, not the execution inside).
+// LoadModel installs an in-memory model directly, bypassing storage,
+// and compiles the execution plan against the device's profile,
+// pre-sizing every intermediate buffer. ONNX and DL4J compile the fused
+// plan (DL4J's ND4J backend compiles to the same C++ kernels; its
+// deficit is the FFI boundary around them, not the execution inside);
+// SavedModel compiles the unfused plan. On an int8 device profile the
+// fused runtimes instead fold batch norms, calibrate, and compile the
+// quantized plan (docs/QUANTIZATION.md).
 func (r *Runtime) LoadModel(m *model.Model) error {
 	if err := m.Validate(); err != nil {
 		return fmt.Errorf("embedded %s: %w", r.kind, err)
 	}
-	r.m = m
-	if r.kind == ONNX || r.kind == DL4J {
-		if r.plan != nil {
-			r.plan.Close()
+	var plan *model.Plan
+	switch {
+	case gpu.ProfileOf(r.dev).Int8:
+		if r.kind == SavedModel {
+			return fmt.Errorf("embedded savedmodel: int8 execution needs a fused plan; the savedmodel runtime executes its graph unfused (use onnx or dl4j)")
 		}
-		plan, err := m.Compile(r.hints())
+		folded := model.FoldBatchNorm(m)
+		cal, err := folded.Calibrate(calibrationBatch(m.InputLen(), calibrationPoints), calibrationPoints)
+		if err != nil {
+			return fmt.Errorf("embedded %s: calibrating for int8: %w", r.kind, err)
+		}
+		p, err := folded.QuantizePlan(r.hints(), cal)
+		if err != nil {
+			return fmt.Errorf("embedded %s: compiling int8 plan: %w", r.kind, err)
+		}
+		plan = p
+	case r.kind == SavedModel:
+		p, err := m.CompileUnfused(r.hints())
 		if err != nil {
 			return fmt.Errorf("embedded %s: compiling plan: %w", r.kind, err)
 		}
-		r.plan = plan
+		plan = p
+	default:
+		p, err := m.Compile(r.hints())
+		if err != nil {
+			return fmt.Errorf("embedded %s: compiling plan: %w", r.kind, err)
+		}
+		plan = p
 	}
+	r.m = m
+	if r.plan != nil {
+		r.plan.Close()
+	}
+	r.plan = plan
 	return nil
+}
+
+// calibrationPoints sizes the synthetic calibration batch built at
+// int8 load time. 32 points keep load cheap while covering the
+// activation ranges the seeded workload generators produce.
+const calibrationPoints = 32
+
+// calibrationBatch generates the deterministic synthetic calibration
+// set: an xorshift stream of points in [0, 1), the range of the
+// workload generator's features. Serving tools that quantize at load
+// time ship a representative dataset with the model; here the workload
+// distribution is known, so the runtime synthesises it.
+func calibrationBatch(pointLen, n int) []float32 {
+	out := make([]float32, n*pointLen)
+	s := uint32(0x9E3779B9)
+	for i := range out {
+		s ^= s << 13
+		s ^= s >> 17
+		s ^= s << 5
+		out[i] = float32(s>>8) / (1 << 24)
+	}
+	return out
 }
 
 // Close releases the runtime's compiled plan (its resident worker
@@ -117,8 +176,8 @@ func (r *Runtime) Close() error {
 }
 
 // ArenaStats reports the compiled plan's buffer-arena hit/miss counts;
-// zero for the unplanned runtimes. The instrument wrapper samples it
-// into the tensor.arena.* metrics.
+// zero before a model loads. The instrument wrapper samples it into the
+// tensor.arena.* metrics.
 func (r *Runtime) ArenaStats() (hits, misses uint64) {
 	if r.plan == nil {
 		return 0, 0
@@ -156,10 +215,8 @@ func (r *Runtime) Score(inputs []float32, n int) ([]float32, error) {
 		return nil, err
 	}
 	switch r.kind {
-	case ONNX:
-		return r.scoreONNX(inputs, n)
-	case SavedModel:
-		return r.scoreSavedModel(inputs, n)
+	case ONNX, SavedModel:
+		return r.scorePlanned(inputs, n)
 	case DL4J:
 		return r.scoreDL4J(inputs, n)
 	}
@@ -172,28 +229,30 @@ func (r *Runtime) hints() model.ExecHints {
 	return model.ExecHints{Workers: p.Workers, FastConv: p.FastKernels}
 }
 
-// scoreONNX runs the compiled plan with device-aware kernels and
-// explicit host↔device transfers. Per the Scorer contract the input
-// batch is the plan's to scratch; only the output slice is allocated.
-func (r *Runtime) scoreONNX(inputs []float32, n int) ([]float32, error) {
-	r.dev.Transfer(4 * len(inputs))
+// scorePlanned runs the compiled plan (fused for ONNX, unfused for
+// SavedModel) with device-aware kernels and explicit host↔device
+// transfers. Per the Scorer contract the input batch is the plan's to
+// scratch; only the output slice is allocated.
+func (r *Runtime) scorePlanned(inputs []float32, n int) ([]float32, error) {
+	r.dev.Transfer(r.inputBytes(len(inputs)))
 	out := make([]float32, n*r.plan.OutputLen())
 	if err := r.plan.Forward(inputs, n, out); err != nil {
-		return nil, fmt.Errorf("embedded onnx: %w", err)
+		return nil, fmt.Errorf("embedded %s: %w", r.kind, err)
 	}
 	r.dev.Transfer(4 * len(out))
 	return out, nil
 }
 
-// scoreSavedModel runs the graph op-by-op (unfused, per-op allocation).
-func (r *Runtime) scoreSavedModel(inputs []float32, n int) ([]float32, error) {
-	r.dev.Transfer(4 * len(inputs))
-	out, err := forwardUnfused(r.m, inputs, n, r.hints())
-	if err != nil {
-		return nil, fmt.Errorf("embedded savedmodel: %w", err)
+// inputBytes is the host→device size of an elems-element input batch:
+// float32-sized normally, int8-sized when the plan quantizes at the
+// device boundary (the quantized engine streams int8 activations, the
+// way TensorRT int8 deployments cut the PCIe bill 4x). Outputs come
+// back dequantized, so the return transfer stays float32-sized.
+func (r *Runtime) inputBytes(elems int) int {
+	if r.plan.Quantized() {
+		return elems
 	}
-	r.dev.Transfer(4 * len(out))
-	return out, nil
+	return 4 * elems
 }
 
 // scoreDL4J crosses the FFI boundary in both directions around a
@@ -215,7 +274,7 @@ func (r *Runtime) scoreDL4J(inputs []float32, n int) ([]float32, error) {
 	if err := ffiCrossRoundsInto(native, buf[:8+4*len(native)]); err != nil {
 		return nil, fmt.Errorf("embedded dl4j: input marshalling: %w", err)
 	}
-	r.dev.Transfer(4 * len(native))
+	r.dev.Transfer(r.inputBytes(len(native)))
 	out := make([]float32, n*r.plan.OutputLen())
 	if err := r.plan.Forward(native, n, out); err != nil {
 		return nil, fmt.Errorf("embedded dl4j: %w", err)

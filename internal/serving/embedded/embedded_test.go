@@ -2,6 +2,7 @@ package embedded
 
 import (
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -274,11 +275,12 @@ func TestFFICrossPreservesValues(t *testing.T) {
 }
 
 func TestPlannedRuntimesAllocProfile(t *testing.T) {
-	// The planned runtimes' steady state allocates only the returned
-	// output slice: ONNX since the plan/arena work, DL4J since its FFI
-	// marshalling moved to pooled scratch (docs/PERFORMANCE.md).
+	// Every embedded runtime's steady state allocates only the returned
+	// output slice: ONNX since the plan/arena work, SavedModel since its
+	// unfused executor moved onto an arena-backed plan, DL4J since its
+	// FFI marshalling moved to pooled scratch (docs/PERFORMANCE.md).
 	m := model.NewFFNN(1)
-	for _, kind := range []Kind{ONNX, DL4J} {
+	for _, kind := range Kinds() {
 		r := loadRuntime(t, kind, m)
 		inputs := randBatch(m, 1, 13)
 		work := make([]float32, len(inputs))
@@ -302,32 +304,58 @@ func TestRelativeSpeedONNXFastest(t *testing.T) {
 	}
 	m := model.NewFFNN(1)
 	inputs := randBatch(m, 1, 1)
-	cost := map[Kind]int64{}
+	runtimes := map[Kind]*Runtime{}
 	for _, kind := range Kinds() {
 		r := loadRuntime(t, kind, m)
-		// Warm up, then measure.
 		for i := 0; i < 50; i++ {
 			if _, err := r.Score(inputs, 1); err != nil {
 				t.Fatal(err)
 			}
 		}
-		iters := 2000
-		start := nowNanos()
-		for i := 0; i < iters; i++ {
-			if _, err := r.Score(inputs, 1); err != nil {
-				t.Fatal(err)
-			}
-		}
-		cost[kind] = (nowNanos() - start) / int64(iters)
+		runtimes[kind] = r
 	}
-	// ONNX's fused plan saves allocations and activation passes; with
-	// the GEMM dominating, the margin is small, so allow 10% noise.
-	if float64(cost[ONNX]) > 1.1*float64(cost[SavedModel]) {
-		t.Errorf("ONNX (%dns) slower than SavedModel (%dns)", cost[ONNX], cost[SavedModel])
+	// Interleave short rounds and compare kinds within each round, then
+	// judge on the median per-round ratio: machine-load noise that spans
+	// a whole round hits every kind equally, and a single bad window
+	// cannot flip the verdict. The start position rotates so no kind
+	// always measures right after DL4J's cache-thrashing FFI pass.
+	const rounds, iters = 9, 300
+	perRound := map[Kind][]float64{}
+	for round := 0; round < rounds; round++ {
+		kinds := Kinds()
+		for i := range kinds {
+			kind := kinds[(round+i)%len(kinds)]
+			r := runtimes[kind]
+			start := nowNanos()
+			for it := 0; it < iters; it++ {
+				if _, err := r.Score(inputs, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			perRound[kind] = append(perRound[kind], float64(nowNanos()-start)/iters)
+		}
+	}
+	medianRatio := func(num, den Kind) float64 {
+		ratios := make([]float64, rounds)
+		for i := range ratios {
+			ratios[i] = perRound[num][i] / perRound[den][i]
+		}
+		sort.Float64s(ratios)
+		return ratios[rounds/2]
+	}
+	// ONNX's fused plan recycles buffers op-to-op where SavedModel's
+	// unfused plan holds every activation to the end of the pass. On
+	// the small FFNN the two are near-parity by design (both are
+	// arena-backed plans over the same kernels), so this assertion only
+	// guards the ordering against a real regression — e.g. the fused
+	// path re-growing per-op work — not a few percent of scheduler
+	// noise; hence the loose 25% tolerance.
+	if ratio := medianRatio(ONNX, SavedModel); ratio > 1.25 {
+		t.Errorf("ONNX slower than SavedModel (median ratio %.2f)", ratio)
 	}
 	// DL4J's FFI rounds are a large, stable deficit.
-	if float64(cost[DL4J]) < 2*float64(cost[SavedModel]) {
-		t.Errorf("DL4J (%dns) not paying its FFI cost vs SavedModel (%dns)", cost[DL4J], cost[SavedModel])
+	if ratio := medianRatio(DL4J, SavedModel); ratio < 2 {
+		t.Errorf("DL4J not paying its FFI cost vs SavedModel (median ratio %.2f)", ratio)
 	}
 }
 
@@ -366,8 +394,117 @@ func benchScore(b *testing.B, kind Kind) {
 func BenchmarkScoreResNetPlanned(b *testing.B) { benchScore(b, ONNX) }
 
 // BenchmarkScoreResNetUnplanned is the per-op allocating baseline over
-// the same model, batch, and kernels.
-func BenchmarkScoreResNetUnplanned(b *testing.B) { benchScore(b, SavedModel) }
+// the same model, batch, and kernels. It anchors on the raw unfused
+// executor directly (not the SavedModel runtime, which now runs an
+// arena-backed plan and is alloc-parity with ONNX) so the
+// scorer_bytes_ratio claim in BENCH_inference.json keeps comparing
+// planned execution against genuine per-op allocation.
+func BenchmarkScoreResNetUnplanned(b *testing.B) {
+	cfg := model.BenchResNetConfig(3)
+	cfg.InputSize = 32
+	cfg.Blocks = [4]int{1, 1, 1, 1}
+	m := model.NewResNet(cfg)
+	inputs := make([]float32, 2*m.InputLen())
+	if _, err := ForwardUnfused(m, inputs, 2, model.ExecHints{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ForwardUnfused(m, inputs, 2, model.ExecHints{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// loadInt8Runtime builds a runtime on an int8-wrapped CPU device.
+func loadInt8Runtime(t testing.TB, kind Kind, m *model.Model) *Runtime {
+	t.Helper()
+	r, err := New(kind, gpu.WithInt8(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.LoadModel(m); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestInt8RuntimeAgreesWithFloat is the serving-level face of the
+// accuracy-drift contract: an int8 runtime's argmax predictions agree
+// with the float runtime's on nearly every point of a seeded batch.
+func TestInt8RuntimeAgreesWithFloat(t *testing.T) {
+	m := model.NewFFNN(1)
+	const n = 64
+	inputs := randBatch(m, n, 17)
+	ref := loadRuntime(t, ONNX, m)
+	want, err := ref.Score(append([]float32(nil), inputs...), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{ONNX, DL4J} {
+		r := loadInt8Runtime(t, kind, m)
+		if !r.plan.Quantized() {
+			t.Fatalf("%s: int8 device produced a float plan", kind)
+		}
+		got, err := r.Score(append([]float32(nil), inputs...), n)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		cols := m.OutputSize
+		agree := 0
+		for i := 0; i < n; i++ {
+			wi, gi := argmax(want[i*cols:(i+1)*cols]), argmax(got[i*cols:(i+1)*cols])
+			if wi == gi {
+				agree++
+			}
+		}
+		if frac := float64(agree) / n; frac < 0.95 {
+			t.Errorf("%s: int8 top-1 agreement %.4f, want >= 0.95", kind, frac)
+		}
+		_ = r.Close()
+	}
+}
+
+func argmax(row []float32) int {
+	best, bi := row[0], 0
+	for j, v := range row[1:] {
+		if v > best {
+			best, bi = v, j+1
+		}
+	}
+	return bi
+}
+
+// TestInt8SavedModelRejected: the unfused runtime has no plan to hang
+// the quantized kernels on, so loading on an int8 device must fail.
+func TestInt8SavedModelRejected(t *testing.T) {
+	r, err := New(SavedModel, gpu.WithInt8(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.LoadModel(model.NewFFNN(1)); err == nil {
+		t.Fatal("savedmodel accepted an int8 device profile")
+	}
+}
+
+// TestInt8RuntimeAllocProfile extends the alloc-parity gate to the
+// quantized path: quantize + packed GEMM + dequantize plus all arena
+// traffic still allocates only the returned output slice.
+func TestInt8RuntimeAllocProfile(t *testing.T) {
+	m := model.NewFFNN(1)
+	r := loadInt8Runtime(t, ONNX, m)
+	inputs := randBatch(m, 1, 13)
+	work := make([]float32, len(inputs))
+	allocs := testing.AllocsPerRun(50, func() {
+		copy(work, inputs)
+		if _, err := r.Score(work, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("int8 onnx: %.1f allocs/op in steady state, want <= 1", allocs)
+	}
+}
 
 func BenchmarkScoreFFNN(b *testing.B) {
 	m := model.NewFFNN(1)

@@ -40,6 +40,14 @@ type Arena struct {
 	wraps []*Tensor               // Wrap headers; wraps[:nwrap] are in use
 	nwrap int
 
+	// Quantized scratch uses the same size classes but a stricter
+	// contract: GetQ/GetAcc/GetU64 buffers are op-local and must be
+	// returned with their Recycle* counterpart (Reset does not sweep
+	// them), which keeps the quantized path off the lent list entirely.
+	freeQ   [arenaClasses][]*QTensor // recycled, cap(data) == 1<<class
+	freeAcc [arenaClasses][][]int32  // int32 accumulators, cap == 1<<class
+	freeU64 [arenaClasses][][]uint64 // packed-word scratch, cap == 1<<class
+
 	hits, misses       atomic.Uint64
 	extHits, extMisses *atomic.Uint64
 }
@@ -213,6 +221,151 @@ func (a *Arena) Reset() {
 		a.wraps[i].data = nil
 	}
 	a.nwrap = 0
+}
+
+// reshapeQTo repoints a recycled QTensor at a new shape of n total
+// elements, reusing the shape header when the rank allows.
+func (q *QTensor) reshapeQTo(shape []int, n int) {
+	q.data = q.data[:n]
+	if cap(q.shape) >= len(shape) {
+		q.shape = q.shape[:len(shape)]
+		copy(q.shape, shape)
+	} else {
+		q.shape = append([]int(nil), shape...)
+	}
+}
+
+// GetQ returns a quantized tensor of the given shape with unspecified
+// contents and identity-reset parameters. Rank-2 tensors come with
+// packed-LHS buffers sized for QuantizeLHSInto. Steady state is
+// allocation-free: recycled tensors keep their data, shape, and packed
+// capacities. Unlike Get, the tensor is not swept by Reset — return it
+// with RecycleQ when the op completes.
+func (a *Arena) GetQ(shape ...int) *QTensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	c := classFor(n)
+	if c >= arenaClasses {
+		// Off-scale request: plain allocation, never recycled. Built
+		// inline (not via NewQ) so the variadic shape slice never
+		// escapes on the in-class path below.
+		a.miss()
+		q := &QTensor{
+			shape:  append([]int(nil), shape...),
+			data:   make([]int8, n),
+			scales: []float32{1},
+			zps:    []int32{0},
+			axis:   -1,
+		}
+		if len(shape) == 2 {
+			q.ensureLHS(shape[0], shape[1])
+		}
+		return q
+	}
+	if fl := a.freeQ[c]; len(fl) > 0 {
+		q := fl[len(fl)-1]
+		a.freeQ[c] = fl[:len(fl)-1]
+		q.reshapeQTo(shape, n)
+		if len(shape) == 2 {
+			q.ensureLHS(shape[0], shape[1])
+		}
+		a.hit()
+		return q
+	}
+	a.miss()
+	q := &QTensor{
+		shape:  append([]int(nil), shape...),
+		data:   make([]int8, n, 1<<c),
+		scales: []float32{1},
+		zps:    []int32{0},
+		axis:   -1,
+	}
+	if len(shape) == 2 {
+		q.ensureLHS(shape[0], shape[1])
+	}
+	return q
+}
+
+// RecycleQ returns a GetQ-ed tensor to the quantized free lists.
+// Foreign buffers (capacity not a managed class) are dropped.
+func (a *Arena) RecycleQ(q *QTensor) {
+	if q == nil {
+		return
+	}
+	c := classFor(cap(q.data))
+	if c >= arenaClasses || cap(q.data) != 1<<c {
+		return
+	}
+	if len(a.freeQ[c]) < arenaFreeCap {
+		a.freeQ[c] = append(a.freeQ[c], q)
+	}
+}
+
+// GetAcc returns an int32 accumulator of length n with unspecified
+// contents. Return it with RecycleAcc; steady state is allocation-free.
+func (a *Arena) GetAcc(n int) []int32 {
+	c := classFor(n)
+	if c >= arenaClasses {
+		a.miss()
+		return make([]int32, n)
+	}
+	if fl := a.freeAcc[c]; len(fl) > 0 {
+		b := fl[len(fl)-1]
+		a.freeAcc[c] = fl[:len(fl)-1]
+		a.hit()
+		return b[:n]
+	}
+	a.miss()
+	return make([]int32, n, 1<<c)
+}
+
+// RecycleAcc returns a GetAcc-ed buffer to the free lists.
+func (a *Arena) RecycleAcc(b []int32) {
+	if cap(b) == 0 {
+		return
+	}
+	c := classFor(cap(b))
+	if c >= arenaClasses || cap(b) != 1<<c {
+		return
+	}
+	if len(a.freeAcc[c]) < arenaFreeCap {
+		a.freeAcc[c] = append(a.freeAcc[c], b)
+	}
+}
+
+// GetU64 returns a packed-word scratch buffer of length n with
+// unspecified contents (the fused quantized im2col's destination).
+// Return it with RecycleU64; steady state is allocation-free.
+func (a *Arena) GetU64(n int) []uint64 {
+	c := classFor(n)
+	if c >= arenaClasses {
+		a.miss()
+		return make([]uint64, n)
+	}
+	if fl := a.freeU64[c]; len(fl) > 0 {
+		b := fl[len(fl)-1]
+		a.freeU64[c] = fl[:len(fl)-1]
+		a.hit()
+		return b[:n]
+	}
+	a.miss()
+	return make([]uint64, n, 1<<c)
+}
+
+// RecycleU64 returns a GetU64-ed buffer to the free lists.
+func (a *Arena) RecycleU64(b []uint64) {
+	if cap(b) == 0 {
+		return
+	}
+	c := classFor(cap(b))
+	if c >= arenaClasses || cap(b) != 1<<c {
+		return
+	}
+	if len(a.freeU64[c]) < arenaFreeCap {
+		a.freeU64[c] = append(a.freeU64[c], b)
+	}
 }
 
 // Stats reports how many Gets were served from recycled memory (hits)

@@ -557,3 +557,20 @@ func BenchmarkConv2D(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkConv2DInto measures the hot path Plans actually run:
+// preallocated destination and im2col scratch, zero steady-state
+// allocations (BenchmarkConv2D above keeps the allocating wrapper as
+// the baseline).
+func BenchmarkConv2DInto(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	in := randTensor(r, 1, 8, 28, 28)
+	k := randTensor(r, 16, 8, 3, 3)
+	oh, ow := Conv2DOutDims(in, k, 1, 1)
+	dst := New(1, 16, oh, ow)
+	col := make([]float32, Conv2DScratchLen(in, k, 1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DInto(dst, in, k, 1, 1, col)
+	}
+}

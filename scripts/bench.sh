@@ -6,7 +6,10 @@
 # 10x below the unplanned (SavedModel) baseline, at no ns/op cost — and
 # the external batching pair pins another: coalescing 16 records into
 # one wire call must score at least 2x the records/sec of 16 single
-# calls (batched_vs_unbatched_ratio). The scenario sweep books a
+# calls (batched_vs_unbatched_ratio). The quantized pair pins a third:
+# the packed int8 GEMM must run at least 2x the float32 blocked GEMM at
+# the same shape (int8_speedup_ratio), with its accuracy cost booked as
+# int8_top1_delta (docs/QUANTIZATION.md). The scenario sweep books a
 # capacity claim: server_capacity_rps is the highest offered Poisson
 # rate whose p99 stays under the server scenario's bound
 # (docs/SCENARIOS.md), so later speedups move a measured capacity.
@@ -20,7 +23,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_inference.json}"
 
 go test -run NONE -benchmem -benchtime "$BENCHTIME" \
-	-bench 'MatMulBlocked128|Conv2D$|ConvDirectVsWinograd|PlanForward|UnplannedForward|ScoreResNet|ScoreFFNN|ScoreBatchedVsUnbatched|ServerCapacitySweep$|BrokerFailover$' \
+	-bench 'MatMulBlocked128|QMatMul$|Conv2D$|Conv2DInto$|ConvDirectVsWinograd|PlanForward|QPlanAgreement$|UnplannedForward|ScoreResNet|ScoreFFNN|ScoreBatchedVsUnbatched|ServerCapacitySweep$|BrokerFailover$' \
 	./internal/tensor/ ./internal/model/ ./internal/serving/embedded/ ./internal/serving/external/ . \
 	| awk -v benchtime="$BENCHTIME" '
 	/^pkg:/ { pkg = $2 }
@@ -32,9 +35,12 @@ go test -run NONE -benchmem -benchtime "$BENCHTIME" \
 			if ($i == "allocs/op") allocs = $(i - 1)
 			if ($i == "capacity_rps") cap = $(i - 1)
 			if ($i == "recovery_ms") ttr = $(i - 1)
+			if ($i == "top1_delta") { delta = $(i - 1); dseen = 1 }
 		}
 		if (n++) printf ",\n"
 		printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", pkg, name, $2, ns, bytes, allocs
+		if (name ~ /MatMulBlocked128$/)    { fns = ns }
+		if (name ~ /BenchmarkQMatMul$/)    { qns = ns }
 		if (name ~ /ScoreResNetPlanned/)   { pb = bytes; pns = ns }
 		if (name ~ /ScoreResNetUnplanned/) { ub = bytes; uns = ns }
 		if (name ~ /ScoreBatchedVsUnbatched\/unbatched$/) { sns = ns }
@@ -45,6 +51,16 @@ go test -run NONE -benchmem -benchtime "$BENCHTIME" \
 		if (pb > 0 && ub > 0) {
 			printf "  \"scorer_bytes_ratio\": %.2f,\n", ub / pb
 			printf "  \"scorer_speed_ratio\": %.3f,\n", uns / pns
+		}
+		# The int8 kernel claim (docs/QUANTIZATION.md): the packed int8
+		# GEMM vs the float32 blocked GEMM at the same 128^3 shape, and
+		# the measured top-1 drift of the quantized FFNN plan on the
+		# contract eval set.
+		if (fns > 0 && qns > 0) {
+			printf "  \"int8_speedup_ratio\": %.2f,\n", fns / qns
+		}
+		if (dseen) {
+			printf "  \"int8_top1_delta\": %s,\n", delta
 		}
 		# Both sub-benchmarks score 16 records/op, so the ns/op ratio is
 		# the records/sec gain of coalescing on the external path.
@@ -69,4 +85,4 @@ go test -run NONE -benchmem -benchtime "$BENCHTIME" \
 	' >"$OUT"
 
 echo "wrote $OUT"
-grep -E "scorer_(bytes|speed)_ratio" "$OUT" || true
+grep -E "scorer_(bytes|speed)_ratio|int8_(speedup_ratio|top1_delta)" "$OUT" || true
