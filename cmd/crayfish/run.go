@@ -15,7 +15,7 @@ func run() {
 		engine   = flag.String("engine", "flink", "stream processor: "+strings.Join(crayfish.Engines(), ", "))
 		mode     = flag.String("mode", "embedded", "serving mode: embedded or external")
 		tool     = flag.String("tool", "onnx", "serving tool: onnx|savedmodel|dl4j (embedded), tf-serving|torchserve|ray-serve (external)")
-		modelN   = flag.String("model", "ffnn", "pre-trained model: ffnn, resnet, resnet50")
+		modelN   = flag.String("model", "ffnn", "pre-trained model: ffnn, resnet, resnet50, transformer")
 		device   = flag.String("device", "cpu", "inference device: cpu or gpu")
 		rate     = flag.Float64("rate", 1000, "input rate in events/s (0 = saturate)")
 		bsz      = flag.Int("bsz", 1, "data points per event (bsz)")
@@ -38,9 +38,10 @@ func run() {
 	flag.Parse()
 
 	shape := map[string][]int{
-		"ffnn":     {28, 28},
-		"resnet":   {3, 64, 64},
-		"resnet50": {3, 224, 224},
+		"ffnn":        {28, 28},
+		"resnet":      {3, 64, 64},
+		"resnet50":    {3, 224, 224},
+		"transformer": {32, 64},
 	}[*modelN]
 	if shape == nil {
 		fatalf("unknown model %q", *modelN)

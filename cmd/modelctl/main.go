@@ -40,7 +40,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: modelctl <gen|convert|inspect> [flags]
-  gen     -model ffnn|resnet|resnet50 -format onnx|savedmodel|torch|h5 -out FILE [-seed N]
+  gen     -model ffnn|resnet|resnet50|transformer -format onnx|savedmodel|torch|h5 -out FILE [-seed N]
   convert -in FILE -format onnx|savedmodel|torch|h5 -out FILE
   inspect -in FILE`)
 	os.Exit(2)
@@ -48,7 +48,7 @@ func usage() {
 
 func gen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	name := fs.String("model", "ffnn", "model to generate: ffnn, resnet, resnet50")
+	name := fs.String("model", "ffnn", "model to generate: ffnn, resnet, resnet50, transformer")
 	format := fs.String("format", "onnx", "storage format")
 	out := fs.String("out", "", "output file")
 	seed := fs.Int64("seed", 1, "weight-initialisation seed")
@@ -64,6 +64,8 @@ func gen(args []string) error {
 		m = model.NewResNet(model.BenchResNetConfig(*seed))
 	case "resnet50":
 		m = model.NewResNet50(*seed)
+	case "transformer":
+		m = model.NewTransformer(model.DefaultTransformerConfig(*seed))
 	default:
 		return fmt.Errorf("unknown model %q", *name)
 	}

@@ -43,7 +43,7 @@ func serveMetrics(addr string, reg *crayfish.TelemetryRegistry) (string, error) 
 func main() {
 	var (
 		tool        = flag.String("tool", "tf-serving", "framework: tf-serving, torchserve, ray-serve")
-		modelN      = flag.String("model", "ffnn", "model to serve: ffnn, resnet, resnet50")
+		modelN      = flag.String("model", "ffnn", "model to serve: ffnn, resnet, resnet50, transformer")
 		file        = flag.String("model-file", "", "serve a stored model file instead (format auto-detected; see modelctl)")
 		workers     = flag.Int("workers", 1, "inference pool size (threads/processes/replicas)")
 		device      = flag.String("device", "cpu", "inference device: cpu or gpu")

@@ -10,7 +10,9 @@ import (
 // hotTensorFuncs are the internal/tensor functions that sit on the
 // steady-state inference path beyond the Into-suffix convention: the
 // blocked matmul core, the im2col packers (float and quantized), the
-// parallel fan-outs, and the packed int8 GEMM core.
+// parallel fan-outs, the packed int8 GEMM core, and the fused
+// transformer row kernels (attention lanes, the shared softmax row
+// loop).
 var hotTensorFuncs = map[string]bool{
 	"matMulRange":    true,
 	"im2col":         true,
@@ -19,13 +21,18 @@ var hotTensorFuncs = map[string]bool{
 	"qMatMulPacked":  true,
 	"im2colQ":        true,
 	"store4q":        true,
+	"attentionRows":  true,
+	"poolAttention":  true,
+	"softmaxRows":    true,
 }
 
 // hotModelFiles are the internal/model files whose entire contents are
-// hot: the reference forward pass and the compiled execution plan.
+// hot: the reference forward pass, the compiled execution plan, and the
+// plan's transformer-operator dispatch.
 var hotModelFiles = map[string]bool{
-	"forward.go": true,
-	"plan.go":    true,
+	"forward.go":  true,
+	"plan.go":     true,
+	"attnexec.go": true,
 }
 
 // NewHotPathAlloc flags heap allocations on the inference hot path:

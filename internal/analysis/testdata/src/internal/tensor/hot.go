@@ -50,3 +50,25 @@ func qMatMulPacked(lhs []uint64) []uint64 {
 
 // PackRHS is a cold packer: growing the packed buffer here is fine.
 func PackRHS(n int) []uint64 { return make([]uint64, n) }
+
+// attentionRows is on the hot-helper allow-list: the fused-attention
+// lane kernel's accumulator and score strips come from caller scratch.
+func attentionRows(src []float32) []float32 {
+	lane := make([]float32, len(src)) // want hotpathalloc
+	copy(lane, src)
+	return lane
+}
+
+// poolAttention is on the hot-helper allow-list (the attention fan-out).
+func poolAttention(src []float32) {
+	scr := make([]float32, len(src)) // want hotpathalloc
+	_ = scr
+}
+
+// softmaxRows is on the hot-helper allow-list (the shared softmax row
+// loop).
+func softmaxRows(dst []float32) []float32 {
+	rows := make([]float32, len(dst)) // want hotpathalloc
+	copy(rows, dst)
+	return rows
+}

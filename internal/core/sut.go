@@ -17,7 +17,8 @@ import (
 type ModelSpec struct {
 	// Name is "ffnn" (the paper's 28K-parameter Fashion-MNIST
 	// classifier), "resnet" (the reduced-width benchmark ResNet; see
-	// DESIGN.md §1), or "resnet50" (full width).
+	// DESIGN.md §1), "resnet50" (full width), or "transformer" (the
+	// fused-attention encoder benchmark).
 	Name string
 	// Seed drives deterministic weight initialisation.
 	Seed int64
@@ -37,6 +38,8 @@ func (s ModelSpec) Build() (*model.Model, error) {
 		return model.NewResNet(model.BenchResNetConfig(s.Seed)), nil
 	case "resnet50":
 		return model.NewResNet50(s.Seed), nil
+	case "transformer":
+		return model.NewTransformer(model.DefaultTransformerConfig(s.Seed)), nil
 	default:
 		return nil, fmt.Errorf("core: unknown model %q", s.Name)
 	}

@@ -193,6 +193,12 @@ func (o Options) resnetWorkload() core.Workload {
 	return core.Workload{InputShape: []int{3, 64, 64}, BatchSize: 1, Seed: 1}
 }
 
+// transformerWorkload is the transformer (32 tokens × 64 embedding)
+// workload skeleton.
+func (o Options) transformerWorkload() core.Workload {
+	return core.Workload{InputShape: []int{32, 64}, BatchSize: 1, Seed: 1}
+}
+
 // baseConfig assembles a config with the suite's environment defaults.
 func (o Options) baseConfig(engine string, serving core.ServingConfig, w core.Workload, modelName string, mp int) core.Config {
 	return core.Config{
@@ -217,10 +223,14 @@ func externalTool(tool string) core.ServingConfig {
 }
 
 // openLoopRate returns the paper's open-loop probe rate for a model
-// (§4.1/§5: ir = 30k events/s for FFNN, 256 for ResNet).
+// (§4.1/§5: ir = 30k events/s for FFNN, 256 for ResNet; the
+// transformer sits between them at 512).
 func openLoopRate(modelName string) float64 {
 	if modelName == "resnet" || modelName == "resnet50" {
 		return 256
+	}
+	if modelName == "transformer" {
+		return 512
 	}
 	return 30_000
 }

@@ -40,7 +40,7 @@ func TestTable4Tiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 8 {
+	if len(r.Rows) != 10 {
 		t.Fatalf("rows %d", len(r.Rows))
 	}
 }
@@ -256,7 +256,7 @@ func TestScenariosTiny(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	defs := All()
-	if len(defs) != 23 {
+	if len(defs) != 24 {
 		t.Fatalf("registry has %d experiments", len(defs))
 	}
 	seen := map[string]bool{}

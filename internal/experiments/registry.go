@@ -33,6 +33,7 @@ func All() []Definition {
 		{"ablation-fusion", "Fused vs unfused execution", AblationFusedExecution},
 		{"ablation-asyncio", "Blocking vs async I/O external calls", AblationAsyncIO},
 		{"ablation-kernels", "Accelerator kernel paths", AblationFastKernels},
+		{"ablation-attention", "Fused vs unfused transformer kernels", AblationAttention},
 		{"ablation-network", "Loopback vs modelled LAN", AblationNetworkRealism},
 		{"ablation-dynbatch", "Dynamic micro-batching in the scoring operator", AblationDynamicBatching},
 		{"recovery", "Fault injection and recovery", RecoveryFaultInjection},

@@ -26,8 +26,10 @@ type Device interface {
 	// sequential execution.
 	Workers() int
 	// FastKernels reports whether the device's kernel library uses
-	// fast convolution algorithms (Winograd), as accelerator libraries
-	// like cuDNN do.
+	// fast algorithms — Winograd convolution and the fused transformer
+	// kernels (flash-style attention, fused residual + layer norm) —
+	// as accelerator libraries like cuDNN do. Workers additionally fans
+	// attention (head × query-row) lanes out alongside GEMM row ranges.
 	FastKernels() bool
 	// Transfer accounts for moving n bytes between host and device.
 	// It blocks for the modelled duration on accelerator devices and is

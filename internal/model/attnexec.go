@@ -1,0 +1,76 @@
+package model
+
+// Compiled-plan dispatch for the transformer operators (attention,
+// layer norm, GELU). Like forward.go and plan.go this whole file is on
+// the hotpathalloc analyzer's hot list: every kernel writes into arena
+// buffers or the execution state's pre-sized attention scratch.
+
+import (
+	"fmt"
+
+	"crayfish/internal/tensor"
+)
+
+// compileAttention resolves one attention op: head geometry and the
+// scratch floats the chosen kernel needs. in is the per-point input
+// dims ([S, 3D] for a packed q|k|v activation).
+func (p *Plan) compileAttention(op *planOp, l *Layer, in []int) ([]int, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("attention input must be rank 3 [n, seq, 3*dim], got per-point dims %v", in)
+	}
+	s, w := in[0], in[1]
+	if w == 0 || w%3 != 0 {
+		return nil, fmt.Errorf("attention input width %d not divisible by 3 (rows pack q|k|v)", w)
+	}
+	d := w / 3
+	if l.Heads <= 0 || d%l.Heads != 0 {
+		return nil, fmt.Errorf("attention with %d heads over model dim %d", l.Heads, d)
+	}
+	if p.hints.FastConv {
+		workers := p.hints.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		op.attnLen = tensor.AttentionScratchLen(d, l.Heads, workers)
+	} else {
+		op.attnLen = tensor.AttentionReferenceScratchLen(s)
+	}
+	return []int{s, d}, nil
+}
+
+// attnInto runs one compiled attention op into dst: the fused tiled
+// kernel under FastConv (fanned over the work pool when Workers > 1),
+// the unfused reference otherwise. Scratch comes from the execution
+// state's pre-sized attention buffer.
+func (p *Plan) attnInto(s *execState, op *planOp, dst, src *tensor.Tensor) {
+	if !p.hints.FastConv {
+		tensor.AttentionReferenceInto(dst, src, op.l.Heads, s.attn)
+		return
+	}
+	if p.hints.Workers > 1 {
+		tensor.AttentionPoolInto(dst, src, op.l.Heads, s.attn, p.hints.Workers, p.pool, &s.wg)
+		return
+	}
+	tensor.AttentionInto(dst, src, op.l.Heads, s.attn)
+}
+
+// lnInto runs one standalone layer-norm op in place (residual-fused
+// layer norms are executed by their residual op instead).
+func (p *Plan) lnInto(op *planOp, x *tensor.Tensor) {
+	l := op.l
+	if p.hints.FastConv {
+		tensor.LayerNormResidualInto(x, x, nil, l.Gamma, l.Beta, l.Eps)
+		return
+	}
+	tensor.LayerNormReferenceInto(x, x, nil, l.Gamma, l.Beta, l.Eps)
+}
+
+// geluInto runs one GELU op in place: the fused tanh approximation
+// under FastConv, the exact-erf reference otherwise.
+func (p *Plan) geluInto(x *tensor.Tensor) {
+	if p.hints.FastConv {
+		tensor.GELUInto(x, x)
+		return
+	}
+	tensor.GELUReferenceInto(x, x)
+}

@@ -13,8 +13,11 @@ import (
 type ExecHints struct {
 	// Workers fans conv/matmul kernels out across goroutines when > 1.
 	Workers int
-	// FastConv selects the Winograd F(2×2,3×3) kernel for eligible
-	// convolutions (3×3, stride 1), as accelerator libraries do.
+	// FastConv selects the fast library kernels, as accelerator
+	// libraries do: the Winograd F(2×2,3×3) kernel for eligible
+	// convolutions (3×3, stride 1) and the fused transformer kernels
+	// (flash-style tiled attention, one-pass residual + layer norm,
+	// tanh GELU).
 	FastConv bool
 }
 
@@ -47,7 +50,20 @@ func (m *Model) forward(in *tensor.Tensor, opts execOpts) (*tensor.Tensor, error
 	x := in
 	var skips []*tensor.Tensor
 	var err error
-	for i, l := range m.Layers {
+	for i := 0; i < len(m.Layers); i++ {
+		l := m.Layers[i]
+		// The fast-kernel path folds a residual add into the layer norm
+		// that follows it (one read/write pass instead of two),
+		// mirroring the plan's compile-time peephole so planned and
+		// unplanned passes stay bit-identical per hint set.
+		if opts.FastConv && l.Kind == KindResidual && i+1 < len(m.Layers) && m.Layers[i+1].Kind == KindLayerNorm {
+			x, skips, err = fusedResidualNorm(x, skips, m.Layers[i+1])
+			if err != nil {
+				return nil, fmt.Errorf("model %q layer %d (%s): %w", m.Name, i, l.Name, err)
+			}
+			i++
+			continue
+		}
 		x, skips, err = applyLayer(l, x, skips, opts)
 		if err != nil {
 			return nil, fmt.Errorf("model %q layer %d (%s): %w", m.Name, i, l.Name, err)
@@ -64,18 +80,33 @@ func (m *Model) forward(in *tensor.Tensor, opts execOpts) (*tensor.Tensor, error
 func applyLayer(l *Layer, x *tensor.Tensor, skips []*tensor.Tensor, opts execOpts) (*tensor.Tensor, []*tensor.Tensor, error) {
 	switch l.Kind {
 	case KindDense:
+		// Rank-3 transformer activations [n, S, D] run the same GEMM
+		// over a flattened [n*S, D] view and fold back afterwards.
+		xm := x
+		if x.Rank() == 3 {
+			v, err := x.Reshape(x.Dim(0)*x.Dim(1), x.Dim(2))
+			if err != nil {
+				return nil, skips, err
+			}
+			xm = v
+		}
 		var y *tensor.Tensor
 		var err error
 		if opts.Workers > 1 {
-			y, err = tensor.MatMulParallel(x, l.W, opts.Workers)
+			y, err = tensor.MatMulParallel(xm, l.W, opts.Workers)
 		} else {
-			y, err = tensor.MatMul(x, l.W)
+			y, err = tensor.MatMul(xm, l.W)
 		}
 		if err != nil {
 			return nil, skips, err
 		}
 		if _, err := tensor.AddBias(y, l.B); err != nil {
 			return nil, skips, err
+		}
+		if x.Rank() == 3 {
+			if y, err = y.Reshape(x.Dim(0), x.Dim(1), l.W.Dim(1)); err != nil {
+				return nil, skips, err
+			}
 		}
 		return y, skips, nil
 
@@ -135,6 +166,27 @@ func applyLayer(l *Layer, x *tensor.Tensor, skips []*tensor.Tensor, opts execOpt
 		y, err := tensor.AddInPlace(x, skip)
 		return y, skips, err
 
+	case KindAttention:
+		y, err := attnOp(x, l, opts)
+		return y, skips, err
+
+	case KindLayerNorm:
+		if err := lnShapeCheck(x, l); err != nil {
+			return nil, skips, err
+		}
+		if opts.FastConv {
+			tensor.LayerNormResidualInto(x, x, nil, l.Gamma, l.Beta, l.Eps)
+		} else {
+			tensor.LayerNormReferenceInto(x, x, nil, l.Gamma, l.Beta, l.Eps)
+		}
+		return x, skips, nil
+
+	case KindGELU:
+		if opts.FastConv {
+			return tensor.GELU(x), skips, nil
+		}
+		return tensor.GELUReference(x), skips, nil
+
 	default:
 		return nil, skips, fmt.Errorf("unknown layer kind %q", l.Kind)
 	}
@@ -164,6 +216,43 @@ func convOp(x *tensor.Tensor, l *Layer, opts execOpts) (*tensor.Tensor, error) {
 		}
 	}
 	return y, nil
+}
+
+// attnOp mirrors convOp's device split for attention: accelerator
+// profiles run the fused flash-style kernel, the CPU device the
+// unfused reference (materialised S×S scores, textbook P×V).
+func attnOp(x *tensor.Tensor, l *Layer, opts execOpts) (*tensor.Tensor, error) {
+	if opts.FastConv {
+		return tensor.Attention(x, l.Heads)
+	}
+	return tensor.AttentionReference(x, l.Heads)
+}
+
+// fusedResidualNorm pops the skip stack and runs the fused
+// residual-add + layer norm kernel in place of the two separate ops.
+func fusedResidualNorm(x *tensor.Tensor, skips []*tensor.Tensor, ln *Layer) (*tensor.Tensor, []*tensor.Tensor, error) {
+	if len(skips) == 0 {
+		return nil, skips, fmt.Errorf("residual with empty skip stack")
+	}
+	skip := skips[len(skips)-1]
+	skips = skips[:len(skips)-1]
+	if err := lnShapeCheck(x, ln); err != nil {
+		return nil, skips, err
+	}
+	if !x.SameShape(skip) {
+		return nil, skips, fmt.Errorf("residual shape mismatch %v + %v", x.Shape(), skip.Shape())
+	}
+	tensor.LayerNormResidualInto(x, x, skip, ln.Gamma, ln.Beta, ln.Eps)
+	return x, skips, nil
+}
+
+// lnShapeCheck validates a layer-norm activation before the panicking
+// hot kernel runs.
+func lnShapeCheck(x *tensor.Tensor, l *Layer) error {
+	if x.Rank() < 1 || x.Dim(x.Rank()-1) != l.Gamma.Len() {
+		return fmt.Errorf("layernorm width %d against activation %v", l.Gamma.Len(), x.Shape())
+	}
+	return nil
 }
 
 // winogradConv returns the layer's cached Winograd transform, building

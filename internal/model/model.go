@@ -33,6 +33,9 @@ const (
 	KindResidual  LayerKind = "residual"  // add a saved skip connection
 	KindSaveSkip  LayerKind = "saveskip"  // remember activation for residual
 	KindProjSkip  LayerKind = "projskip"  // 1×1 conv + BN on the saved skip
+	KindAttention LayerKind = "attention" // multi-head self-attention over packed q|k|v rows
+	KindLayerNorm LayerKind = "layernorm" // per-row layer norm over the last dim
+	KindGELU      LayerKind = "gelu"      // Gaussian error linear unit
 )
 
 // Layer is one operator in a model graph. Only the fields relevant to its
@@ -51,8 +54,12 @@ type Layer struct {
 	Pad    int
 	// MaxPool parameters (Stride/Pad shared with conv fields).
 	PoolSize int
+	// Attention parameter: query/key/value head count. The packed q|k|v
+	// projection itself folds into the preceding dense layer.
+	Heads int
 
-	// BatchNorm parameters (also used by ProjSkip's BN).
+	// BatchNorm parameters (also used by ProjSkip's BN); LayerNorm uses
+	// Gamma/Beta/Eps only.
 	Gamma, Beta, Mean, Variance *tensor.Tensor
 	Eps                         float32
 
@@ -126,7 +133,15 @@ func (m *Model) Validate() error {
 			if l.PoolSize <= 0 || l.Stride <= 0 {
 				return fmt.Errorf("model %q layer %d (%s): malformed maxpool", m.Name, i, l.Name)
 			}
-		case KindReLU, KindSoftmax, KindGlobalAvg, KindFlatten:
+		case KindAttention:
+			if l.Heads <= 0 {
+				return fmt.Errorf("model %q layer %d (%s): attention needs a positive head count", m.Name, i, l.Name)
+			}
+		case KindLayerNorm:
+			if l.Gamma == nil || l.Beta == nil || l.Gamma.Rank() != 1 || l.Beta.Rank() != 1 || l.Gamma.Len() != l.Beta.Len() {
+				return fmt.Errorf("model %q layer %d (%s): malformed layernorm", m.Name, i, l.Name)
+			}
+		case KindReLU, KindSoftmax, KindGlobalAvg, KindFlatten, KindGELU:
 			// No parameters.
 		case KindSaveSkip:
 			skipDepth++

@@ -25,9 +25,10 @@ type Plan struct {
 	ops   []planOp
 	pool  *tensor.WorkPool // resident matmul fan-out workers, nil when Workers <= 1
 
-	colLen int // per-image im2col scratch, max over conv ops
-	nWino  int
-	outLen int // per-point output length
+	colLen  int // per-image im2col scratch, max over conv ops
+	attnLen int // attention kernel scratch, max over attention ops
+	nWino   int
+	outLen  int // per-point output length
 
 	quantized bool // ops carry int8 kernels (QuantizePlan)
 	unfused   bool // keep op-by-op buffer lifetimes (CompileUnfused)
@@ -61,6 +62,10 @@ type planOp struct {
 	dims   []int // per-point output dims (batch dim excluded); nil for in-place ops
 	inDims []int // per-point input dims for conv-like ops (quantization needs the geometry)
 
+	attnLen int    // attention scratch floats this op needs
+	lnFuse  *Layer // layer norm folded into this residual add (FastConv peephole)
+	fused   bool   // this op was consumed by the preceding op's fusion
+
 	q *qOp // int8 kernel state, nil on float plans (see quant.go)
 }
 
@@ -81,6 +86,7 @@ type execState struct {
 	arena   tensor.Arena
 	wg      sync.WaitGroup
 	col     []float32
+	attn    []float32
 	winos   []*tensor.WinoScratch
 	skips   []*tensor.Tensor
 	shapes  [][]int
@@ -103,19 +109,25 @@ func (m *Model) Compile(hints ExecHints) (*Plan, error) {
 		}
 		switch l.Kind {
 		case KindDense:
-			if len(cur) != 1 {
-				return fail("dense input must be rank 2, got per-point dims %v", cur)
+			// Rank-3 transformer activations run the same GEMM over a
+			// flattened [n*S, D] view at exec time.
+			if len(cur) != 1 && len(cur) != 2 {
+				return fail("dense input must be rank 2 or 3, got per-point dims %v", cur)
 			}
-			if l.W.Dim(0) != cur[0] {
-				return fail("dense weight %v against input width %d", l.W.Shape(), cur[0])
+			if l.W.Dim(0) != cur[len(cur)-1] {
+				return fail("dense weight %v against input width %d", l.W.Shape(), cur[len(cur)-1])
 			}
-			cur = []int{l.W.Dim(1)}
+			if len(cur) == 2 {
+				cur = []int{cur[0], l.W.Dim(1)}
+			} else {
+				cur = []int{l.W.Dim(1)}
+			}
 			op.dims = cur
-		case KindReLU:
+		case KindReLU, KindGELU:
 			// in place, any shape
 		case KindSoftmax:
-			if len(cur) != 1 {
-				return fail("softmax input must be rank 2, got per-point dims %v", cur)
+			if len(cur) != 1 && len(cur) != 2 {
+				return fail("softmax input must be rank 2 or 3, got per-point dims %v", cur)
 			}
 		case KindConv:
 			out, err := p.compileConv(&op, l, cur)
@@ -172,11 +184,35 @@ func (m *Model) Compile(hints ExecHints) (*Plan, error) {
 				return fail("residual dims %v vs skip %v", cur, skips[len(skips)-1])
 			}
 			skips = skips[:len(skips)-1]
+			// The fast-kernel peephole: fold a directly-following
+			// layer norm into this residual add (the reference
+			// forward applies the same fusion under FastConv, keeping
+			// planned and unplanned passes bit-identical).
+			if hints.FastConv && i+1 < len(m.Layers) && m.Layers[i+1].Kind == KindLayerNorm {
+				op.lnFuse = m.Layers[i+1]
+			}
+		case KindAttention:
+			out, err := p.compileAttention(&op, l, cur)
+			if err != nil {
+				return fail("%v", err)
+			}
+			cur = out
+			op.dims = cur
+		case KindLayerNorm:
+			if len(cur) == 0 || cur[len(cur)-1] != l.Gamma.Len() {
+				return fail("layernorm width %d against per-point dims %v", l.Gamma.Len(), cur)
+			}
+			if hints.FastConv && i > 0 && m.Layers[i-1].Kind == KindResidual {
+				op.fused = true // consumed by the residual's peephole
+			}
 		default:
 			return fail("unknown layer kind %q", l.Kind)
 		}
 		if op.colLen > p.colLen {
 			p.colLen = op.colLen
+		}
+		if op.attnLen > p.attnLen {
+			p.attnLen = op.attnLen
 		}
 		p.ops = append(p.ops, op)
 	}
@@ -337,7 +373,8 @@ func (slot *stateSlot) release(s *execState) {
 // lifetime.
 func (p *Plan) newState(n int) *execState {
 	s := &execState{
-		col:    make([]float32, p.colLen), //lint:allow hotpathalloc state construction is the cold path; the scratch is reused for the state's lifetime
+		col:    make([]float32, p.colLen),  //lint:allow hotpathalloc state construction is the cold path; the scratch is reused for the state's lifetime
+		attn:   make([]float32, p.attnLen), //lint:allow hotpathalloc state construction is the cold path; the scratch is reused for the state's lifetime
 		winos:  make([]*tensor.WinoScratch, p.nWino),
 		shapes: make([][]int, len(p.ops)),
 	}
@@ -397,12 +434,19 @@ func (p *Plan) exec(s *execState, in, out []float32) error {
 		switch op.kind {
 		case KindDense:
 			y := s.arena.Get(s.shapes[i]...)
-			if p.hints.Workers > 1 {
-				tensor.MatMulParallelInto(y, x, l.W, p.hints.Workers, p.pool, &s.wg)
-			} else {
-				tensor.MatMulInto(y, x, l.W)
+			xm, ym := x, y
+			if x.Rank() == 3 {
+				// Flattened [n*S, D] views over the same buffers; Wrap
+				// headers are arena-reused so this stays allocation-free.
+				xm = s.arena.Wrap(x.Data(), x.Dim(0)*x.Dim(1), x.Dim(2))
+				ym = s.arena.Wrap(y.Data(), y.Dim(0)*y.Dim(1), y.Dim(2))
 			}
-			tensor.AddBiasInto(y, y, l.B)
+			if p.hints.Workers > 1 {
+				tensor.MatMulParallelInto(ym, xm, l.W, p.hints.Workers, p.pool, &s.wg)
+			} else {
+				tensor.MatMulInto(ym, xm, l.W)
+			}
+			tensor.AddBiasInto(ym, ym, l.B)
 			p.retire(s, x)
 			x = y
 		case KindReLU:
@@ -455,12 +499,25 @@ func (p *Plan) exec(s *execState, in, out []float32) error {
 		case KindResidual:
 			skip := s.skips[len(s.skips)-1]
 			s.skips = s.skips[:len(s.skips)-1]
-			if _, err := tensor.AddInPlace(x, skip); err != nil {
+			if ln := op.lnFuse; ln != nil {
+				tensor.LayerNormResidualInto(x, x, skip, ln.Gamma, ln.Beta, ln.Eps)
+			} else if _, err := tensor.AddInPlace(x, skip); err != nil {
 				return err
 			}
 			if skip != x {
 				p.retire(s, skip)
 			}
+		case KindAttention:
+			y := s.arena.Get(s.shapes[i]...)
+			p.attnInto(s, op, y, x)
+			p.retire(s, x)
+			x = y
+		case KindLayerNorm:
+			if !op.fused {
+				p.lnInto(op, x)
+			}
+		case KindGELU:
+			p.geluInto(x)
 		}
 	}
 	copy(out, x.Data())
@@ -571,9 +628,9 @@ func (p *Plan) convInto(s *execState, op *planOp, dst, src *tensor.Tensor) error
 func (m *Model) MutatesInput() bool {
 	for _, l := range m.Layers {
 		switch l.Kind {
-		case KindDense, KindConv, KindMaxPool, KindGlobalAvg:
+		case KindDense, KindConv, KindMaxPool, KindGlobalAvg, KindAttention:
 			return false
-		case KindReLU, KindSoftmax, KindBatchNorm, KindResidual:
+		case KindReLU, KindSoftmax, KindBatchNorm, KindResidual, KindLayerNorm, KindGELU:
 			return true
 		}
 	}

@@ -14,6 +14,13 @@ func planTestResNet() *Model {
 	return NewResNet(ResNetConfig{Seed: 7, WidthMult: 0.125, InputSize: 32, Blocks: [4]int{1, 1, 1, 1}, Classes: 10})
 }
 
+// planTestTransformer is a small-but-complete transformer: fused QKV
+// dense, attention, residual+layernorm, and GELU at a size that keeps
+// -race runs fast.
+func planTestTransformer() *Model {
+	return NewTransformer(TransformerConfig{Seed: 7, SeqLen: 8, ModelDim: 16, Heads: 4, FFNDim: 32, Blocks: 2, Classes: 10})
+}
+
 func randInput(m *Model, n int, seed float32) []float32 {
 	in := make([]float32, n*m.InputLen())
 	v := seed
@@ -25,10 +32,10 @@ func randInput(m *Model, n int, seed float32) []float32 {
 }
 
 // TestPlanMatchesForward asserts the compiled plan is bit-identical to
-// the uncompiled reference pass under every hint combination, for both
-// model families and several batch sizes.
+// the uncompiled reference pass under every hint combination, for all
+// three model families and several batch sizes.
 func TestPlanMatchesForward(t *testing.T) {
-	models := []*Model{NewFFNN(3), planTestResNet()}
+	models := []*Model{NewFFNN(3), planTestResNet(), planTestTransformer()}
 	hintSets := []ExecHints{
 		{},
 		{Workers: 4},
@@ -105,14 +112,15 @@ func TestPlanCompileErrors(t *testing.T) {
 
 // TestPlanForwardAllocs is the allocation regression gate: after one
 // warmup call per batch size, Plan.Forward performs zero heap
-// allocations — for FFNN and ResNet, batch 1 and 64, single- and
-// multi-worker. Run under -race the assertion stays, but the race
-// runtime itself allocates, so the exact-zero check is skipped.
+// allocations — for FFNN, ResNet, and the transformer, batch 1 and 64,
+// single- and multi-worker. Run under -race the assertion stays, but
+// the race runtime itself allocates, so the exact-zero check is
+// skipped.
 func TestPlanForwardAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc regression needs full-size batches")
 	}
-	models := []*Model{NewFFNN(3), planTestResNet()}
+	models := []*Model{NewFFNN(3), planTestResNet(), planTestTransformer()}
 	hintSets := []ExecHints{
 		{},
 		{FastConv: true, Workers: 4},
@@ -205,6 +213,13 @@ func BenchmarkPlanForwardFFNN(b *testing.B) {
 
 func BenchmarkPlanForwardResNet(b *testing.B) {
 	benchPlan(b, planTestResNet(), ExecHints{FastConv: true}, 2)
+}
+
+// BenchmarkPlanForwardTransformer books transformer_ns_op in
+// BENCH_inference.json (see scripts/bench.sh): the default-config
+// transformer through its compiled plan on the fused kernel path.
+func BenchmarkPlanForwardTransformer(b *testing.B) {
+	benchPlan(b, NewTransformer(DefaultTransformerConfig(1)), ExecHints{FastConv: true}, 1)
 }
 
 // BenchmarkUnplannedForwardResNet is the allocating baseline the plan

@@ -16,6 +16,34 @@ import (
 // a dequantize back to float32 at each op boundary so the surrounding
 // float ops (ReLU, pooling, residual adds, softmax) are untouched.
 
+// UnsupportedQuantKindError reports a layer kind outside the int8
+// quantizer's coverage. The transformer kinds (attention, layer norm,
+// GELU) stay float32 deliberately: their kernels are softmax- and
+// normalisation-shaped, where int8's integer dot products buy nothing,
+// so both Calibrate and QuantizePlan reject them upfront instead of
+// silently skipping them.
+type UnsupportedQuantKindError struct {
+	Model string
+	Layer string
+	Kind  LayerKind
+}
+
+func (e *UnsupportedQuantKindError) Error() string {
+	return fmt.Sprintf("model %q layer %q: int8 quantization does not support layer kind %q (transformer kernels run float32)", e.Model, e.Layer, e.Kind)
+}
+
+// checkQuantKinds scans for layer kinds the quantizer does not cover,
+// loudly and before any work happens.
+func (m *Model) checkQuantKinds() error {
+	for _, l := range m.Layers {
+		switch l.Kind {
+		case KindAttention, KindLayerNorm, KindGELU:
+			return &UnsupportedQuantKindError{Model: m.Name, Layer: l.Name, Kind: l.Kind}
+		}
+	}
+	return nil
+}
+
 // LayerStats is the calibrated activation range at one layer's input.
 // ChanMin/ChanMax record the per-channel envelope (diagnostics and
 // future per-channel activation schemes); Min/Max is the per-tensor
@@ -111,6 +139,9 @@ func observeStats(layer int, name string, x *tensor.Tensor) LayerStats {
 // the saved skip activation it projects). The inputs are copied, so
 // the caller's buffer is not mutated.
 func (m *Model) Calibrate(inputs []float32, n int) (*Calibration, error) {
+	if err := m.checkQuantKinds(); err != nil {
+		return nil, err
+	}
 	x, err := m.BatchInput(append([]float32(nil), inputs...), n)
 	if err != nil {
 		return nil, fmt.Errorf("model %q: calibrating: %w", m.Name, err)
@@ -250,6 +281,9 @@ func quantizeOp(op *planOp, st *LayerStats) (*qOp, error) {
 // how int8 deployments ship. Winograd hints are ignored: quantized
 // convolutions always lower to the packed im2col GEMM.
 func (m *Model) QuantizePlan(hints ExecHints, cal *Calibration) (*Plan, error) {
+	if err := m.checkQuantKinds(); err != nil {
+		return nil, err
+	}
 	if cal == nil || len(cal.Stats) == 0 {
 		return nil, fmt.Errorf("model %q: QuantizePlan needs a calibration (run Calibrate)", m.Name)
 	}

@@ -159,6 +159,7 @@ func (w *binWriter) writeLayerCommon(l *model.Layer) {
 	w.i32(int32(l.Stride))
 	w.i32(int32(l.Pad))
 	w.i32(int32(l.PoolSize))
+	w.i32(int32(l.Heads))
 	w.f32(l.Eps)
 }
 
@@ -183,13 +184,17 @@ func (r *binReader) readLayerCommon() (*model.Layer, error) {
 	if err != nil {
 		return nil, err
 	}
+	heads, err := r.i32()
+	if err != nil {
+		return nil, err
+	}
 	eps, err := r.f32()
 	if err != nil {
 		return nil, err
 	}
 	return &model.Layer{
 		Kind: model.LayerKind(kind), Name: name,
-		Stride: int(stride), Pad: int(pad), PoolSize: int(pool), Eps: eps,
+		Stride: int(stride), Pad: int(pad), PoolSize: int(pool), Heads: int(heads), Eps: eps,
 	}, nil
 }
 

@@ -34,7 +34,7 @@ func roundTripModel(t *testing.T, m *model.Model) {
 		}
 		for i, l := range m.Layers {
 			g := got.Layers[i]
-			if g.Kind != l.Kind || g.Name != l.Name || g.Stride != l.Stride || g.Pad != l.Pad || g.PoolSize != l.PoolSize || g.Eps != l.Eps {
+			if g.Kind != l.Kind || g.Name != l.Name || g.Stride != l.Stride || g.Pad != l.Pad || g.PoolSize != l.PoolSize || g.Heads != l.Heads || g.Eps != l.Eps {
 				t.Fatalf("%s: layer %d attrs differ", f, i)
 			}
 			want := layerTensors(l)
@@ -77,6 +77,14 @@ func TestRoundTripResNet(t *testing.T) {
 	cfg.InputSize = 32
 	cfg.Blocks = [4]int{1, 1, 1, 1}
 	roundTripModel(t, model.NewResNet(cfg))
+}
+
+func TestRoundTripTransformer(t *testing.T) {
+	// The transformer exercises the attention/layernorm/gelu kinds and
+	// the Heads attribute in every format.
+	roundTripModel(t, model.NewTransformer(model.TransformerConfig{
+		Seed: 1, SeqLen: 4, ModelDim: 8, Heads: 2, FFNDim: 16, Blocks: 1, Classes: 3,
+	}))
 }
 
 func TestTable2SizeShape(t *testing.T) {

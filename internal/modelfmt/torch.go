@@ -35,6 +35,7 @@ type torchLayer struct {
 	Stride   int              `json:"stride,omitempty"`
 	Pad      int              `json:"pad,omitempty"`
 	PoolSize int              `json:"pool_size,omitempty"`
+	Heads    int              `json:"heads,omitempty"`
 	Eps      float32          `json:"eps,omitempty"`
 	Tensors  map[string]int   `json:"tensors,omitempty"` // field name -> data entry id
 	Shapes   map[string][]int `json:"shapes,omitempty"`
@@ -53,7 +54,7 @@ func (torchCodec) Encode(m *model.Model) ([]byte, error) {
 	for _, l := range m.Layers {
 		tl := torchLayer{
 			Kind: string(l.Kind), Name: l.Name,
-			Stride: l.Stride, Pad: l.Pad, PoolSize: l.PoolSize, Eps: l.Eps,
+			Stride: l.Stride, Pad: l.Pad, PoolSize: l.PoolSize, Heads: l.Heads, Eps: l.Eps,
 		}
 		ts := layerTensors(l)
 		for j, t := range ts {
@@ -131,7 +132,7 @@ func (torchCodec) Decode(data []byte) (*model.Model, error) {
 	for i, tl := range manifest.Layers {
 		l := &model.Layer{
 			Kind: model.LayerKind(tl.Kind), Name: tl.Name,
-			Stride: tl.Stride, Pad: tl.Pad, PoolSize: tl.PoolSize, Eps: tl.Eps,
+			Stride: tl.Stride, Pad: tl.Pad, PoolSize: tl.PoolSize, Heads: tl.Heads, Eps: tl.Eps,
 		}
 		ts := layerTensors(l)
 		for j, field := range tensorFieldNames {

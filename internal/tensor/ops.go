@@ -141,27 +141,43 @@ func ReLU(t *Tensor) *Tensor {
 	return t
 }
 
-// Softmax applies a numerically-stable softmax over the last dimension of a
-// rank-2 tensor in place and returns it.
+// Softmax applies a numerically-stable softmax over the last dimension
+// in place and returns it: every leading dimension indexes an
+// independent row (rank-2 classifier logits, rank-3 attention score
+// tiles alike).
 func Softmax(t *Tensor) (*Tensor, error) {
-	if t.Rank() != 2 {
-		return nil, fmt.Errorf("tensor: Softmax requires rank 2, got %v", t.shape)
+	if t.Rank() < 1 {
+		return nil, fmt.Errorf("tensor: Softmax requires rank >= 1, got %v", t.shape)
 	}
 	SoftmaxInto(t, t)
 	return t, nil
 }
 
-// SoftmaxInto computes the row-wise numerically-stable softmax of src
-// into dst. dst may alias src (the in-place hot path). It panics on
-// shape mismatch.
+// SoftmaxInto computes the numerically-stable softmax of src over its
+// last dimension into dst; every leading dimension indexes an
+// independent row. dst may alias src (the in-place hot path). It
+// panics on shape mismatch.
 func SoftmaxInto(dst, src *Tensor) {
-	if dst.shape[0] != src.shape[0] || dst.shape[1] != src.shape[1] {
+	if !dst.SameShape(src) {
 		panic(fmt.Sprintf("tensor: SoftmaxInto shape mismatch %v -> %v", src.shape, dst.shape))
 	}
-	n := src.shape[1]
-	for i := 0; i < src.shape[0]; i++ {
-		in := src.data[i*n : (i+1)*n]
-		row := dst.data[i*n : (i+1)*n]
+	if src.Rank() < 1 {
+		panic(fmt.Sprintf("tensor: SoftmaxInto requires rank >= 1, got %v", src.shape))
+	}
+	n := src.shape[src.Rank()-1]
+	if n == 0 {
+		return
+	}
+	softmaxRows(dst.data, src.data, len(src.data)/n, n)
+}
+
+// softmaxRows is the shared softmax row loop (SoftmaxInto and the
+// reference attention kernel): max-subtract, exponentiate with a
+// float64 running sum, normalise.
+func softmaxRows(dst, src []float32, rows, n int) {
+	for i := 0; i < rows; i++ {
+		in := src[i*n : (i+1)*n]
+		row := dst[i*n : (i+1)*n]
 		max := float32(math.Inf(-1))
 		for _, v := range in {
 			if v > max {

@@ -286,8 +286,20 @@ func TestSoftmaxRowsSumToOne(t *testing.T) {
 			t.Fatalf("row %d sums to %v", i, s)
 		}
 	}
-	if _, err := Softmax(New(3)); err == nil {
-		t.Fatal("rank-1 Softmax did not error")
+	// Rank 1 is a single row since the last-dim generalisation.
+	one := MustFromSlice([]float32{1, 2, 3}, 3)
+	if _, err := Softmax(one); err != nil {
+		t.Fatal(err)
+	}
+	var s1 float64
+	for _, v := range one.Data() {
+		s1 += float64(v)
+	}
+	if math.Abs(s1-1) > 1e-4 {
+		t.Fatalf("rank-1 softmax sums to %v", s1)
+	}
+	if _, err := Softmax(New()); err == nil {
+		t.Fatal("rank-0 Softmax did not error")
 	}
 }
 

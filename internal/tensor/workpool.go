@@ -3,24 +3,40 @@ package tensor
 import "sync"
 
 // WorkPool is a small resident worker pool for fanning matrix-multiply
-// row ranges out across goroutines without touching the allocator on
-// the hot path: spawning a goroutine (and the closure it captures) per
-// call costs the allocator every time, so a compiled plan keeps one
-// pool alive for its lifetime and feeds it value-typed tasks over a
-// channel instead.
+// row ranges and fused-attention lane ranges out across goroutines
+// without touching the allocator on the hot path: spawning a goroutine
+// (and the closure it captures) per call costs the allocator every
+// time, so a compiled plan keeps one pool alive for its lifetime and
+// feeds it value-typed tasks over a channel instead.
 type WorkPool struct {
 	tasks chan mmTask
 	wg    sync.WaitGroup
 	n     int
 }
 
-// mmTask is one row range of a C = A×B product. It is sent by value so
-// enqueueing does not allocate; done is owned by the caller and kept
-// across calls (e.g. inside a plan's execution state).
+// taskKind discriminates the work a pool task carries: matmul row
+// ranges and fused-attention (point, head, query-row) ranges share the
+// same resident workers.
+type taskKind uint8
+
+const (
+	taskMatMul taskKind = iota
+	taskAttention
+)
+
+// mmTask is one row range of a C = A×B product (taskMatMul) or one
+// flattened lane range of a fused attention pass (taskAttention, where
+// k/n carry the sequence length and model dim and scr is the lane's
+// private scratch strip). It is sent by value so enqueueing does not
+// allocate; done is owned by the caller and kept across calls (e.g.
+// inside a plan's execution state).
 type mmTask struct {
+	kind       taskKind
 	cd, ad, bd []float32
 	i0, i1     int
 	k, n       int
+	heads      int
+	scr        []float32
 	done       *sync.WaitGroup
 }
 
@@ -44,14 +60,21 @@ func (p *WorkPool) Workers() int { return p.n }
 func (p *WorkPool) worker() {
 	defer p.wg.Done()
 	for t := range p.tasks {
-		// Each worker zeroes its own disjoint row range before
-		// accumulating, so results are bit-identical to the
-		// sequential kernel for any chunking.
-		rows := t.cd[t.i0*t.n : t.i1*t.n]
-		for i := range rows {
-			rows[i] = 0
+		switch t.kind {
+		case taskAttention:
+			// Every output row is produced whole inside its lane, so
+			// chunking never changes bits.
+			attentionRows(t.cd, t.ad, t.k, t.n, t.heads, t.i0, t.i1, t.scr)
+		default:
+			// Each worker zeroes its own disjoint row range before
+			// accumulating, so results are bit-identical to the
+			// sequential kernel for any chunking.
+			rows := t.cd[t.i0*t.n : t.i1*t.n]
+			for i := range rows {
+				rows[i] = 0
+			}
+			matMulRange(t.cd, t.ad, t.bd, t.i0, t.i1, t.k, t.n)
 		}
-		matMulRange(t.cd, t.ad, t.bd, t.i0, t.i1, t.k, t.n)
 		t.done.Done()
 	}
 }

@@ -12,7 +12,12 @@
 # int8_top1_delta (docs/QUANTIZATION.md). The scenario sweep books a
 # capacity claim: server_capacity_rps is the highest offered Poisson
 # rate whose p99 stays under the server scenario's bound
-# (docs/SCENARIOS.md), so later speedups move a measured capacity.
+# (docs/SCENARIOS.md), so later speedups move a measured capacity. The
+# attention pair pins the transformer-kernel claim: the tiled
+# flash-style attention must run at least 1.5x the score-materializing
+# reference at the same shape (attention_fused_speedup), and the
+# compiled transformer plan's steady-state cost is booked as
+# transformer_ns_op (docs/PERFORMANCE.md "Fused transformer kernels").
 #
 #   BENCHTIME   per-benchmark budget (default 1s; check.sh passes 50x)
 #   OUT         output path (default BENCH_inference.json)
@@ -23,7 +28,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_inference.json}"
 
 go test -run NONE -benchmem -benchtime "$BENCHTIME" \
-	-bench 'MatMulBlocked128|QMatMul$|Conv2D$|Conv2DInto$|ConvDirectVsWinograd|PlanForward|QPlanAgreement$|UnplannedForward|ScoreResNet|ScoreFFNN|ScoreBatchedVsUnbatched|ServerCapacitySweep$|BrokerFailover$' \
+	-bench 'MatMulBlocked128|QMatMul$|Conv2D$|Conv2DInto$|ConvDirectVsWinograd|PlanForward|QPlanAgreement$|UnplannedForward|ScoreResNet|ScoreFFNN|ScoreBatchedVsUnbatched|ServerCapacitySweep$|BrokerFailover$|AttentionFusedVsUnfused' \
 	./internal/tensor/ ./internal/model/ ./internal/serving/embedded/ ./internal/serving/external/ . \
 	| awk -v benchtime="$BENCHTIME" '
 	/^pkg:/ { pkg = $2 }
@@ -45,6 +50,9 @@ go test -run NONE -benchmem -benchtime "$BENCHTIME" \
 		if (name ~ /ScoreResNetUnplanned/) { ub = bytes; uns = ns }
 		if (name ~ /ScoreBatchedVsUnbatched\/unbatched$/) { sns = ns }
 		if (name ~ /ScoreBatchedVsUnbatched\/batched$/)   { bns = ns }
+		if (name ~ /AttentionFusedVsUnfused\/fused$/)     { afns = ns }
+		if (name ~ /AttentionFusedVsUnfused\/unfused$/)   { auns = ns }
+		if (name ~ /PlanForwardTransformer$/)             { tns = ns }
 	}
 	END {
 		printf "\n  ],\n"
@@ -67,6 +75,16 @@ go test -run NONE -benchmem -benchtime "$BENCHTIME" \
 		if (sns > 0 && bns > 0) {
 			printf "  \"batched_vs_unbatched_ratio\": %.2f,\n", sns / bns
 		}
+		# The fused-attention claim (docs/PERFORMANCE.md): the tiled
+		# flash-style kernel vs the S x S score-materializing reference
+		# at the pinned S=256, D=64, heads=4 shape (contract: >= 1.5x),
+		# plus the compiled transformer plan cost.
+		if (afns > 0 && auns > 0) {
+			printf "  \"attention_fused_speedup\": %.2f,\n", auns / afns
+		}
+		if (tns > 0) {
+			printf "  \"transformer_ns_op\": %s,\n", tns
+		}
 		# The server scenario capacity (highest offered Poisson rate
 		# meeting the p99 bound; docs/SCENARIOS.md).
 		if (cap > 0) {
@@ -85,4 +103,4 @@ go test -run NONE -benchmem -benchtime "$BENCHTIME" \
 	' >"$OUT"
 
 echo "wrote $OUT"
-grep -E "scorer_(bytes|speed)_ratio|int8_(speedup_ratio|top1_delta)" "$OUT" || true
+grep -E "scorer_(bytes|speed)_ratio|int8_(speedup_ratio|top1_delta)|attention_fused_speedup" "$OUT" || true

@@ -31,7 +31,7 @@ go test -race -run 'TestBatchingConformance|TestAsyncIOBatchingConformance' -cou
 # failure; under -race the exact-zero assertions relax but the same
 # paths still execute race-checked.
 go test -race -count=1 \
-	-run 'TestIntoKernelsMatchAndDontAllocate|TestWinogradApplyInto|TestMatMulParallelInto|TestArena|TestPlanForwardAllocs|TestPlanConcurrent|TestQuantKernelsMatchOracleAndDontAllocate|TestQuantArena|TestQPlanForwardAllocs|TestQPlanConcurrent' \
+	-run 'TestIntoKernelsMatchAndDontAllocate|TestWinogradApplyInto|TestMatMulParallelInto|TestArena|TestPlanForwardAllocs|TestPlanConcurrent|TestQuantKernelsMatchOracleAndDontAllocate|TestQuantArena|TestQPlanForwardAllocs|TestQPlanConcurrent|TestAttentionKernelsMatchAndDontAllocate|TestAttentionFusedMatchesReference|TestLayerNormGELUKernels|TestTransformerFusedVsReference|TestQuantRejectsTransformerKinds' \
 	./internal/tensor/ ./internal/model/
 # Load-generator conformance (docs/SCENARIOS.md): arrival schedules must
 # replay byte-identically per seed, scenario verdict logic must match the
